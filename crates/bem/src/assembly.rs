@@ -1,0 +1,363 @@
+//! Assembly of the MPIE system matrices.
+//!
+//! * `P` (potential coefficients, N×N): `V = P·Q` with `Q` the total cell
+//!   charges. Entry `(i, j)` is the scalar-potential kernel integrated over
+//!   source cell `j`, observed at cell `i` (point matching) or averaged
+//!   over cell `i` (Galerkin), divided by the cell area to convert density
+//!   to total charge.
+//! * `L` (partial inductances, M×M): each link current is modeled as a
+//!   uniform current patch one cell in size centered on the link. For
+//!   parallel patches `L = (1/(wᵢwⱼ))∬ᵢ∬ⱼ G_A`, with the inner integral
+//!   closed form; orthogonal patches have zero mutual (the kernel is
+//!   diagonal dyadic in the quasi-static limit).
+//! * `R` (link loop resistances, M): `R = Zs·(length/width)` squares of
+//!   **loop** sheet resistance — for a plane pair both conductors carry the
+//!   loop current, so pass the series sheet resistance of the pair (e.g.
+//!   `2 × 6 mΩ/sq` for two identical tungsten planes).
+
+use pdn_geom::mesh::LinkDirection;
+use pdn_geom::{PlaneMesh, PlanePair};
+use pdn_greens::{LayeredKernel, Rectangle, SurfaceImpedance};
+use pdn_num::{GaussLegendre, Matrix};
+use std::error::Error;
+use std::fmt;
+
+/// Testing scheme for the boundary-element discretization (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Testing {
+    /// Delta testing at panel centers: fast, adequate for smooth meshes.
+    PointMatching,
+    /// Galerkin testing with an `order × order` Gauss rule over the
+    /// observation panel: better accuracy and stability at extra cost.
+    Galerkin {
+        /// Gauss–Legendre order per dimension on the observation panel.
+        order: usize,
+    },
+}
+
+/// Options controlling assembly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BemOptions {
+    /// Testing scheme (default: point matching, the paper's fast path).
+    pub testing: Testing,
+    /// Number of image terms when a microstrip (air-above) substrate kernel
+    /// is selected.
+    pub image_terms: usize,
+    /// Treat the substrate as a microstrip (grounded slab with air above)
+    /// instead of a confined plane pair. Used for patch structures.
+    pub microstrip: bool,
+}
+
+impl Default for BemOptions {
+    fn default() -> Self {
+        BemOptions {
+            testing: Testing::PointMatching,
+            image_terms: 40,
+            microstrip: false,
+        }
+    }
+}
+
+impl BemOptions {
+    /// Galerkin testing of the given order (builder style).
+    pub fn with_galerkin(mut self, order: usize) -> Self {
+        self.testing = Testing::Galerkin { order };
+        self
+    }
+
+    /// Selects the microstrip (air-above) substrate kernel (builder style).
+    pub fn with_microstrip(mut self) -> Self {
+        self.microstrip = true;
+        self
+    }
+}
+
+/// Error from BEM assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssembleBemError {
+    /// The mesh has no cells.
+    EmptyMesh,
+    /// The capacitance inversion or a solve failed (non-physical mesh).
+    NumericalBreakdown(String),
+}
+
+impl fmt::Display for AssembleBemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssembleBemError::EmptyMesh => write!(f, "mesh has no cells"),
+            AssembleBemError::NumericalBreakdown(what) => {
+                write!(f, "numerical breakdown during BEM assembly: {what}")
+            }
+        }
+    }
+}
+
+impl Error for AssembleBemError {}
+
+/// Assembled raw matrices (consumed by [`crate::BemSystem`]).
+#[derive(Debug, Clone)]
+pub struct RawMatrices {
+    /// Potential-coefficient matrix, N×N (1/F).
+    pub p_coef: Matrix<f64>,
+    /// Partial-inductance matrix over links, M×M (H).
+    pub l: Matrix<f64>,
+    /// Link loop resistances, M (Ω).
+    pub r_link: Vec<f64>,
+}
+
+/// Scalar-potential kernel for the configured substrate.
+pub(crate) fn scalar_kernel(pair: &PlanePair, opts: &BemOptions) -> LayeredKernel {
+    if opts.microstrip {
+        LayeredKernel::scalar_microstrip(pair.eps_r, pair.separation, opts.image_terms)
+    } else {
+        LayeredKernel::scalar_confined(pair.eps_r, pair.separation)
+    }
+}
+
+/// Assembles `P`, `L`, and `R` for a meshed plane over the given pair.
+///
+/// # Errors
+///
+/// Returns [`AssembleBemError::EmptyMesh`] for an empty mesh.
+pub fn assemble_matrices(
+    mesh: &PlaneMesh,
+    pair: &PlanePair,
+    zs: &SurfaceImpedance,
+    opts: &BemOptions,
+) -> Result<RawMatrices, AssembleBemError> {
+    let n = mesh.cell_count();
+    let m = mesh.link_count();
+    if n == 0 {
+        return Err(AssembleBemError::EmptyMesh);
+    }
+    let g_phi = scalar_kernel(pair, opts);
+    let g_a = LayeredKernel::vector_potential(pair.separation);
+    let cell = Rectangle::new(mesh.dx(), mesh.dy());
+    let area = mesh.cell_area();
+    let quad = match opts.testing {
+        Testing::PointMatching => None,
+        Testing::Galerkin { order } => Some(GaussLegendre::new(order.max(2))),
+    };
+
+    // --- Potential coefficients -----------------------------------------
+    let centers = mesh.cell_centers();
+    let mut p_coef = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let off = (
+                centers[i].x - centers[j].x,
+                centers[i].y - centers[j].y,
+            );
+            let v = match &quad {
+                None => g_phi.panel_integral(off, cell),
+                Some(q) => g_phi.panel_galerkin(off, cell, cell, q),
+            } / area;
+            p_coef[(i, j)] = v;
+            p_coef[(j, i)] = v;
+        }
+    }
+
+    // --- Partial inductances ---------------------------------------------
+    let links = mesh.links();
+    let mut l = Matrix::zeros(m, m);
+    for i in 0..m {
+        for j in i..m {
+            if links[i].direction != links[j].direction {
+                continue; // orthogonal currents: zero quasi-static mutual
+            }
+            let off = (
+                links[i].center.x - links[j].center.x,
+                links[i].center.y - links[j].center.y,
+            );
+            let integral = match &quad {
+                None => g_a.panel_integral(off, cell) * area,
+                Some(q) => g_a.panel_galerkin(off, cell, cell, q) * area,
+            };
+            // L = (1/(wᵢwⱼ))·∬∬ G_A; the patch width is the dimension
+            // transverse to current flow.
+            let w = match links[i].direction {
+                LinkDirection::X => mesh.dy(),
+                LinkDirection::Y => mesh.dx(),
+            };
+            let v = integral / (w * w);
+            l[(i, j)] = v;
+            l[(j, i)] = v;
+        }
+    }
+
+    // --- Link resistances --------------------------------------------------
+    let r_dc = zs.dc_resistance();
+    let r_link = links
+        .iter()
+        .map(|lk| match lk.direction {
+            LinkDirection::X => r_dc * mesh.dx() / mesh.dy(),
+            LinkDirection::Y => r_dc * mesh.dy() / mesh.dx(),
+        })
+        .collect();
+
+    Ok(RawMatrices { p_coef, l, r_link })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_geom::units::mm;
+    use pdn_geom::Polygon;
+    use pdn_num::cholesky::is_positive_definite;
+    use pdn_num::phys::{EPS0, MU0};
+
+    fn small_system() -> (PlaneMesh, PlanePair, RawMatrices) {
+        let mesh = PlaneMesh::build(&Polygon::rectangle(mm(10.0), mm(10.0)), mm(2.0)).unwrap();
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let raw = assemble_matrices(
+            &mesh,
+            &pair,
+            &SurfaceImpedance::from_sheet_resistance(1e-3),
+            &BemOptions::default(),
+        )
+        .unwrap();
+        (mesh, pair, raw)
+    }
+
+    #[test]
+    fn p_matrix_symmetric_positive_definite() {
+        let (_, _, raw) = small_system();
+        assert_eq!(raw.p_coef.symmetry_defect(), 0.0);
+        assert!(is_positive_definite(&raw.p_coef));
+    }
+
+    #[test]
+    fn l_matrix_symmetric_positive_definite() {
+        let (_, _, raw) = small_system();
+        assert_eq!(raw.l.symmetry_defect(), 0.0);
+        assert!(is_positive_definite(&raw.l));
+    }
+
+    #[test]
+    fn p_diagonal_dominates() {
+        let (_, _, raw) = small_system();
+        for i in 0..raw.p_coef.nrows() {
+            for j in 0..raw.p_coef.ncols() {
+                if i != j {
+                    assert!(raw.p_coef[(i, i)] > raw.p_coef[(i, j)]);
+                    assert!(raw.p_coef[(i, j)] > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_capacitance_close_to_parallel_plate() {
+        let (mesh, pair, raw) = small_system();
+        // Sum over all entries of C = P⁻¹ is the capacitance of the plate
+        // held at uniform potential: ≈ ε₀εr·A/d (slightly above, fringing).
+        let c = pdn_num::lu::invert(raw.p_coef).unwrap();
+        let c_total: f64 = (0..c.nrows())
+            .flat_map(|i| (0..c.ncols()).map(move |j| (i, j)))
+            .map(|(i, j)| c[(i, j)])
+            .sum();
+        let area = mesh.cell_area() * mesh.cell_count() as f64;
+        let c_pp = EPS0 * pair.eps_r * area / pair.separation;
+        let ratio = c_total / c_pp;
+        assert!(ratio > 1.0 && ratio < 1.35, "C_total/C_pp = {ratio}");
+    }
+
+    #[test]
+    fn inductance_self_larger_than_mutual() {
+        let (_, _, raw) = small_system();
+        for i in 0..raw.l.nrows() {
+            for j in 0..raw.l.ncols() {
+                if i != j {
+                    assert!(raw.l[(i, i)] > raw.l[(i, j)].abs());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_inductance_scale_is_plane_pair_like() {
+        // For a plane pair the per-square loop inductance is μ₀·d; the
+        // link self-inductance of a square patch over its image should be
+        // the same order of magnitude (larger, since one patch is narrower
+        // than an infinite front).
+        let (mesh, pair, raw) = small_system();
+        let l_sq = MU0 * pair.separation;
+        let _ = mesh;
+        for i in 0..raw.l.nrows() {
+            let r = raw.l[(i, i)] / l_sq;
+            assert!(r > 0.5 && r < 20.0, "L_self/μ₀d = {r}");
+        }
+    }
+
+    #[test]
+    fn link_resistance_matches_squares() {
+        let (mesh, _, raw) = small_system();
+        // Square cells: every link is exactly one square of loop sheet R.
+        for (r, _) in raw.r_link.iter().zip(mesh.links()) {
+            assert!((r - 1e-3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn galerkin_close_to_point_matching() {
+        let mesh = PlaneMesh::build(&Polygon::rectangle(mm(8.0), mm(8.0)), mm(2.0)).unwrap();
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let zs = SurfaceImpedance::lossless();
+        let pm = assemble_matrices(&mesh, &pair, &zs, &BemOptions::default()).unwrap();
+        let gal = assemble_matrices(
+            &mesh,
+            &pair,
+            &zs,
+            &BemOptions::default().with_galerkin(4),
+        )
+        .unwrap();
+        // Same structure: off-diagonal terms nearly identical, diagonal a
+        // few percent apart (averaging vs center evaluation).
+        let rel = (pm.p_coef[(0, 0)] - gal.p_coef[(0, 0)]).abs() / pm.p_coef[(0, 0)];
+        assert!(rel < 0.25, "diagonal relative difference {rel}");
+        let rel_off = (pm.p_coef[(0, 3)] - gal.p_coef[(0, 3)]).abs() / pm.p_coef[(0, 3)];
+        assert!(rel_off < 0.05);
+        assert!(is_positive_definite(&gal.p_coef));
+        assert!(is_positive_definite(&gal.l));
+    }
+
+    #[test]
+    fn microstrip_kernel_reduces_capacitance_coupling() {
+        // Air above pulls some field out of the substrate, so the
+        // microstrip P diagonal (1/C-like) is larger than the confined one
+        // for the same geometry.
+        let mesh = PlaneMesh::build(&Polygon::rectangle(mm(8.0), mm(8.0)), mm(2.0)).unwrap();
+        let pair = PlanePair::new(1e-3, 4.5).unwrap();
+        let zs = SurfaceImpedance::lossless();
+        let confined = assemble_matrices(&mesh, &pair, &zs, &BemOptions::default()).unwrap();
+        let micro = assemble_matrices(
+            &mesh,
+            &pair,
+            &zs,
+            &BemOptions::default().with_microstrip(),
+        )
+        .unwrap();
+        assert!(micro.p_coef[(0, 0)] > confined.p_coef[(0, 0)]);
+    }
+
+    #[test]
+    fn mutual_inductance_decays_with_distance() {
+        let (mesh, _, raw) = small_system();
+        // Pick an x-link and compare mutuals with nearer/farther x-links.
+        let links = mesh.links();
+        let x0 = (0..links.len())
+            .find(|&i| links[i].direction == LinkDirection::X)
+            .unwrap();
+        let mut pairs: Vec<(f64, f64)> = (0..links.len())
+            .filter(|&j| j != x0 && links[j].direction == LinkDirection::X)
+            .map(|j| {
+                (
+                    links[x0].center.distance(links[j].center),
+                    raw.l[(x0, j)].abs(),
+                )
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert!(pairs.first().unwrap().1 > pairs.last().unwrap().1);
+    }
+}

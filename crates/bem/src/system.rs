@@ -1,0 +1,419 @@
+//! The assembled BEM system and its direct frequency-domain solution.
+//!
+//! [`BemSystem`] owns the mesh and the `P`, `C = P⁻¹`, `L`, `R` matrices
+//! and can solve the full (pre-simplification) system of eqs. (10)–(11) at
+//! any frequency:
+//!
+//! ```text
+//! (Zs + jωL)·I − A·V = 0
+//!  Aᵀ·I + jω·C·V     = J
+//! ```
+//!
+//! Eliminating the link currents gives the nodal admittance of eq. (15),
+//! `Y(ω) = jωC + Aᵀ(Zs + jωL)⁻¹A`, from which port impedances follow by a
+//! complex solve. This is the reference solution that the quasi-static
+//! equivalent circuit of `pdn-extract` is checked against.
+
+use crate::assembly::{assemble_matrices, AssembleBemError, BemOptions, RawMatrices};
+use pdn_geom::{PlaneMesh, PlanePair};
+use pdn_greens::SurfaceImpedance;
+use pdn_num::{c64, LuDecomposition, Matrix};
+use std::f64::consts::PI;
+
+/// An assembled boundary-element system for one plane structure.
+#[derive(Debug, Clone)]
+pub struct BemSystem {
+    mesh: PlaneMesh,
+    pair: PlanePair,
+    zs: SurfaceImpedance,
+    p_coef: Matrix<f64>,
+    c: Matrix<f64>,
+    l: Matrix<f64>,
+    r_link: Vec<f64>,
+    incidence: Matrix<f64>,
+}
+
+impl BemSystem {
+    /// Assembles the MPIE matrices for `mesh` over the given plane pair.
+    ///
+    /// `zs` is the **loop** surface impedance seen by the link currents
+    /// (for two identical planes, twice the per-plane sheet resistance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssembleBemError`] when the mesh is empty or the
+    /// potential matrix cannot be inverted.
+    pub fn assemble(
+        mesh: PlaneMesh,
+        pair: &PlanePair,
+        zs: &SurfaceImpedance,
+        opts: &BemOptions,
+    ) -> Result<Self, AssembleBemError> {
+        let RawMatrices { p_coef, l, r_link } = assemble_matrices(&mesh, pair, zs, opts)?;
+        let c = pdn_num::lu::invert(p_coef.clone())
+            .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
+        let n = mesh.cell_count();
+        let m = mesh.link_count();
+        let mut incidence = Matrix::zeros(m, n);
+        for (link, cell, sign) in mesh.incidence() {
+            incidence[(link, cell)] = sign;
+        }
+        Ok(BemSystem {
+            mesh,
+            pair: *pair,
+            zs: *zs,
+            p_coef,
+            c,
+            l,
+            r_link,
+            incidence,
+        })
+    }
+
+    /// The discretization this system was assembled from.
+    pub fn mesh(&self) -> &PlaneMesh {
+        &self.mesh
+    }
+
+    /// The plane pair.
+    pub fn pair(&self) -> &PlanePair {
+        &self.pair
+    }
+
+    /// Potential-coefficient matrix `P` (N×N, 1/F).
+    pub fn potential_coefficients(&self) -> &Matrix<f64> {
+        &self.p_coef
+    }
+
+    /// Short-circuit capacitance matrix `C = P⁻¹` (N×N, F).
+    pub fn capacitance(&self) -> &Matrix<f64> {
+        &self.c
+    }
+
+    /// Partial-inductance matrix over links (M×M, H).
+    pub fn inductance(&self) -> &Matrix<f64> {
+        &self.l
+    }
+
+    /// Link loop resistances at DC (M, Ω).
+    pub fn link_resistances(&self) -> &[f64] {
+        &self.r_link
+    }
+
+    /// The surface-impedance model the system was assembled with.
+    pub fn surface_impedance(&self) -> &SurfaceImpedance {
+        &self.zs
+    }
+
+    /// Frequency scaling of the link resistances: `Zs(f)/Zs(0)` from the
+    /// surface-impedance model (1 for sheet-resistance-only models, √f
+    /// growth above the skin-effect transition for conductor models).
+    fn resistance_scale(&self, f: f64) -> f64 {
+        let r_dc = self.zs.dc_resistance();
+        if r_dc > 0.0 {
+            self.zs.resistance(f) / r_dc
+        } else {
+            1.0
+        }
+    }
+
+    /// Signed link↔cell incidence `A` (M×N): the discrete gradient.
+    pub fn incidence(&self) -> &Matrix<f64> {
+        &self.incidence
+    }
+
+    /// Full nodal admittance `Y(ω) = jωC + Aᵀ(Zs + jωL)⁻¹A` at frequency
+    /// `f` in Hz (paper eq. 15).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the branch-impedance matrix is singular
+    /// (cannot occur for `f > 0` with positive-definite `L`).
+    pub fn nodal_admittance(&self, f: f64) -> Result<Matrix<c64>, AssembleBemError> {
+        let omega = 2.0 * PI * f;
+        let m = self.l.nrows();
+        let n = self.c.nrows();
+        // Branch impedance Zb = Zs(f) + jωL (complex, M×M). The surface
+        // impedance follows the assembled model: flat for a sheet
+        // resistance, √f above the skin transition for a conductor model
+        // (paper eq. 3's impedance boundary condition).
+        let r_scale = self.resistance_scale(f);
+        let mut zb = Matrix::<c64>::zeros(m, m);
+        for i in 0..m {
+            for j in 0..m {
+                let re = if i == j { self.r_link[i] * r_scale } else { 0.0 };
+                zb[(i, j)] = c64::new(re, omega * self.l[(i, j)]);
+            }
+        }
+        let lu = LuDecomposition::new(zb)
+            .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
+        // X = Zb⁻¹ A  (M×N), then Y = jωC + Aᵀ X.
+        let a_c = self.incidence.to_complex();
+        let x = lu
+            .solve_matrix(&a_c)
+            .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
+        let ata = a_c.hermitian_transpose().matmul(&x);
+        let mut y = ata;
+        for i in 0..n {
+            for j in 0..n {
+                let c_term = c64::new(0.0, omega * self.c[(i, j)]);
+                y[(i, j)] += c_term;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Port impedance matrix at frequency `f` (Hz) for the mesh's bound
+    /// ports: unit current into each port in turn, returning the port
+    /// voltages.
+    ///
+    /// The reference (return) conductor is the ground plane, reached
+    /// through the distributed plane capacitance, so `f` must be positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `f <= 0` or the solve breaks down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no ports are bound to the mesh.
+    pub fn port_impedance(&self, f: f64) -> Result<Matrix<c64>, AssembleBemError> {
+        let ports = self.mesh.port_cells();
+        assert!(!ports.is_empty(), "no ports bound to the mesh");
+        if f <= 0.0 {
+            return Err(AssembleBemError::NumericalBreakdown(
+                "port impedance requires f > 0 (capacitive ground return)".into(),
+            ));
+        }
+        let y = self.nodal_admittance(f)?;
+        let lu = LuDecomposition::new(y)
+            .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
+        let n = self.c.nrows();
+        let np = ports.len();
+        let mut z = Matrix::<c64>::zeros(np, np);
+        for (pj, &cell_j) in ports.iter().enumerate() {
+            let mut rhs = vec![c64::ZERO; n];
+            rhs[cell_j] = c64::ONE;
+            let v = lu
+                .solve(&rhs)
+                .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
+            for (pi, &cell_i) in ports.iter().enumerate() {
+                z[(pi, pj)] = v[cell_i];
+            }
+        }
+        Ok(z)
+    }
+
+    /// Scans `|Z(port, port)|` over a frequency grid and returns the
+    /// frequencies of local maxima (plane resonances) in ascending order —
+    /// the order the paper reports its `f₀`, `f₁` resonant modes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors from [`port_impedance`](Self::port_impedance).
+    pub fn find_resonances(
+        &self,
+        port: usize,
+        f_start: f64,
+        f_stop: f64,
+        points: usize,
+    ) -> Result<Vec<f64>, AssembleBemError> {
+        let mut mags = Vec::with_capacity(points);
+        for k in 0..points {
+            let f = f_start + (f_stop - f_start) * k as f64 / (points - 1) as f64;
+            let z = self.port_impedance(f)?;
+            mags.push((f, z[(port, port)].norm()));
+        }
+        let mut peaks: Vec<f64> = Vec::new();
+        for k in 1..points - 1 {
+            if mags[k].1 > mags[k - 1].1 && mags[k].1 > mags[k + 1].1 {
+                peaks.push(mags[k].0);
+            }
+        }
+        Ok(peaks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_geom::units::mm;
+    use pdn_geom::{Point, Polygon};
+    use pdn_num::approx_eq;
+    use pdn_num::phys::EPS0;
+
+    fn square_plane(ports: &[(f64, f64)]) -> BemSystem {
+        let mut mesh =
+            PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
+        for (i, &(x, y)) in ports.iter().enumerate() {
+            mesh.bind_port(format!("P{i}"), Point::new(x, y)).unwrap();
+        }
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        BemSystem::assemble(
+            mesh,
+            &pair,
+            &SurfaceImpedance::from_sheet_resistance(2e-3),
+            &BemOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn low_frequency_impedance_is_capacitive() {
+        let sys = square_plane(&[(mm(2.0), mm(2.0))]);
+        let f = 1e6;
+        let z = sys.port_impedance(f).unwrap()[(0, 0)];
+        // Should be ≈ 1/(jωC_total) with C_total ≈ fringing-corrected
+        // parallel-plate capacitance.
+        assert!(z.im < 0.0, "capacitive phase, got {z}");
+        let c_eff = -1.0 / (2.0 * PI * f * z.im);
+        let c_pp = EPS0 * 4.5 * mm(20.0) * mm(20.0) / 0.5e-3;
+        let ratio = c_eff / c_pp;
+        assert!(ratio > 0.95 && ratio < 1.4, "C_eff/C_pp = {ratio}");
+        // 1/f scaling.
+        let z10 = sys.port_impedance(10.0 * f).unwrap()[(0, 0)];
+        assert!(approx_eq(z.norm() / z10.norm(), 10.0, 0.05));
+    }
+
+    #[test]
+    fn impedance_matrix_reciprocal() {
+        let sys = square_plane(&[(mm(2.0), mm(2.0)), (mm(17.0), mm(12.0))]);
+        let z = sys.port_impedance(1e9).unwrap();
+        let err = (z[(0, 1)] - z[(1, 0)]).norm() / z[(0, 1)].norm();
+        assert!(err < 1e-8, "reciprocity violated: {err}");
+    }
+
+    #[test]
+    fn first_resonance_matches_cavity_model() {
+        // 20×20 mm plane, εr = 4.5, d = 0.5 mm: f₁₀ = v/(2a).
+        let sys = square_plane(&[(mm(1.5), mm(1.5))]); // corner port excites (1,0)
+        let f10 = sys.pair().cavity_resonance(mm(20.0), mm(20.0), 1, 0);
+        let peaks = sys
+            .find_resonances(0, 0.5 * f10, 1.5 * f10, 41)
+            .unwrap();
+        assert!(!peaks.is_empty(), "no resonance found near {f10:.3e}");
+        let rel = (peaks[0] - f10).abs() / f10;
+        assert!(rel < 0.10, "resonance {:.3e} vs cavity {f10:.3e}", peaks[0]);
+    }
+
+    #[test]
+    fn loss_damps_the_resonance_peak() {
+        let mesh = || {
+            let mut m =
+                PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
+            m.bind_port("P", Point::new(mm(1.5), mm(1.5))).unwrap();
+            m
+        };
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let f10 = pair.cavity_resonance(mm(20.0), mm(20.0), 1, 0);
+        let lo = BemSystem::assemble(
+            mesh(),
+            &pair,
+            &SurfaceImpedance::from_sheet_resistance(1e-3),
+            &BemOptions::default(),
+        )
+        .unwrap();
+        let hi = BemSystem::assemble(
+            mesh(),
+            &pair,
+            &SurfaceImpedance::from_sheet_resistance(50e-3),
+            &BemOptions::default(),
+        )
+        .unwrap();
+        let z_lo = lo.port_impedance(f10).unwrap()[(0, 0)].norm();
+        let z_hi = hi.port_impedance(f10).unwrap()[(0, 0)].norm();
+        assert!(
+            z_hi < z_lo,
+            "more loss must damp the peak: lossy {z_hi} vs {z_lo}"
+        );
+    }
+
+    #[test]
+    fn transfer_impedance_below_self_impedance_at_dc_limit() {
+        let sys = square_plane(&[(mm(2.0), mm(2.0)), (mm(17.0), mm(17.0))]);
+        let z = sys.port_impedance(10e6).unwrap();
+        // At low frequency both approach 1/(jωC_total); the self term has
+        // extra local (spreading) inductance/resistance, so |Z11| ≥ |Z12|.
+        assert!(z[(0, 0)].norm() >= z[(0, 1)].norm() * 0.99);
+    }
+
+    #[test]
+    fn port_impedance_requires_positive_frequency() {
+        let sys = square_plane(&[(mm(2.0), mm(2.0))]);
+        assert!(sys.port_impedance(0.0).is_err());
+    }
+
+    #[test]
+    fn admittance_row_sums_vanish_inductively() {
+        // The inductive part Aᵀ(Zs+jωL)⁻¹A has zero row sums (a pure
+        // branch circuit): total Y row sum equals the capacitive part.
+        let sys = square_plane(&[(mm(2.0), mm(2.0))]);
+        let f = 1e8;
+        let y = sys.nodal_admittance(f).unwrap();
+        let n = y.nrows();
+        for i in 0..n.min(5) {
+            let row_sum: c64 = (0..n).map(|j| y[(i, j)]).sum();
+            let c_row: f64 = (0..n).map(|j| sys.capacitance()[(i, j)]).sum();
+            let expect = c64::new(0.0, 2.0 * PI * f * c_row);
+            assert!(
+                (row_sum - expect).norm() < 1e-6 * row_sum.norm().max(expect.norm()),
+                "row {i}: {row_sum} vs {expect}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod skin_effect_tests {
+    use super::*;
+    use pdn_geom::units::mm;
+    use pdn_geom::{Point, Polygon};
+    use pdn_num::phys::SIGMA_COPPER;
+
+    fn system(zs: SurfaceImpedance) -> BemSystem {
+        let mut mesh =
+            PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
+        mesh.bind_port("P", Point::new(mm(1.5), mm(1.5))).unwrap();
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        BemSystem::assemble(mesh, &pair, &zs, &BemOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn skin_effect_damps_resonance_more_than_dc_model() {
+        // Two models with identical DC resistance: one frequency-flat,
+        // one with a copper skin-effect transition. At the ~3.5 GHz plane
+        // resonance the skin model is more resistive → lower peak.
+        let t_foil = 35e-6;
+        let flat = system(SurfaceImpedance::from_sheet_resistance(
+            2.0 / (SIGMA_COPPER * t_foil),
+        ));
+        let skin = {
+            // Conductor model with double conductivity deficit to match
+            // the loop (two foils in series).
+            let mut zs = SurfaceImpedance::from_conductor(SIGMA_COPPER / 2.0, t_foil);
+            // from_conductor already sets r_dc = 2/(σ t).
+            let _ = &mut zs;
+            zs
+        };
+        let skin_sys = system(skin);
+        assert!(
+            (flat.link_resistances()[0] - skin_sys.link_resistances()[0]).abs()
+                < 1e-9 * flat.link_resistances()[0],
+            "identical DC resistance by construction"
+        );
+        let f10 = flat.pair().cavity_resonance(mm(20.0), mm(20.0), 1, 0);
+        let z_flat = flat.port_impedance(f10).unwrap()[(0, 0)].norm();
+        let z_skin = skin_sys.port_impedance(f10).unwrap()[(0, 0)].norm();
+        assert!(
+            z_skin < z_flat,
+            "skin effect damps the peak: {z_skin:.2} vs {z_flat:.2}"
+        );
+    }
+
+    #[test]
+    fn lossless_scale_is_identity() {
+        let sys = system(SurfaceImpedance::lossless());
+        assert_eq!(sys.resistance_scale(10e9), 1.0);
+        assert_eq!(sys.surface_impedance().dc_resistance(), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * testing scheme — point matching vs Galerkin (paper §3.2 discusses
+//!   the accuracy/cost trade);
+//! * macromodel size — how many retained nodes the reduction keeps
+//!   (the paper's 4/16/42-node choices);
+//! * formulation — the full branch circuit vs the Taylor-expanded
+//!   impedance of eqs. 18–19.
+//!
+//! Each ablation first prints its accuracy series (measured against the
+//! full BEM solve), then times the contender configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdn_core::prelude::*;
+use std::hint::black_box;
+
+fn base_plane() -> PlaneSpec {
+    PlaneSpec::rectangle(mm(20.0), mm(20.0), 0.5e-3, 4.5)
+        .expect("valid pair")
+        .with_sheet_resistance(2e-3)
+        .with_cell_size(mm(2.0))
+        .with_port("P1", mm(2.0), mm(2.0))
+        .with_port("P2", mm(18.0), mm(18.0))
+}
+
+fn testing_scheme_ablation(c: &mut Criterion) {
+    let pm_spec = base_plane();
+    let gal_spec = base_plane().with_galerkin(4);
+    let pm = pm_spec.extract(&NodeSelection::PortsOnly).expect("extractable");
+    let gal = gal_spec.extract(&NodeSelection::PortsOnly).expect("extractable");
+    println!("--- ablation: point matching vs Galerkin testing ---");
+    for &f in &[100e6, 1e9] {
+        let z_pm = pm.equivalent().impedance(f).expect("solvable")[(0, 0)];
+        let z_gal = gal.equivalent().impedance(f).expect("solvable")[(0, 0)];
+        println!(
+            "f = {:>5.2} GHz: |Z11| point-matching {:.4}, Galerkin {:.4} ({:+.2}%)",
+            f / 1e9,
+            z_pm.norm(),
+            z_gal.norm(),
+            100.0 * (z_gal.norm() - z_pm.norm()) / z_pm.norm()
+        );
+    }
+    let mut g = c.benchmark_group("ablation_testing_scheme");
+    g.sample_size(10);
+    g.bench_function("point_matching", |b| {
+        b.iter(|| black_box(&pm_spec).extract(&NodeSelection::PortsOnly).expect("ok"))
+    });
+    g.bench_function("galerkin_4", |b| {
+        b.iter(|| black_box(&gal_spec).extract(&NodeSelection::PortsOnly).expect("ok"))
+    });
+    g.finish();
+}
+
+fn node_budget_ablation(c: &mut Criterion) {
+    let spec = base_plane();
+    println!("--- ablation: macromodel node budget vs accuracy ---");
+    println!("(error of |Z12| against the full BEM solve at 2 GHz)");
+    let bem_extract = spec.extract(&NodeSelection::All).expect("extractable");
+    let z_ref = bem_extract.bem().port_impedance(2e9).expect("solvable")[(0, 1)];
+    let mut contenders = Vec::new();
+    for &(label, sel) in &[
+        ("ports_only", NodeSelection::PortsOnly),
+        ("stride_4", NodeSelection::PortsAndGrid { stride: 4 }),
+        ("stride_2", NodeSelection::PortsAndGrid { stride: 2 }),
+        ("all_nodes", NodeSelection::All),
+    ] {
+        let eq = spec.extract(&sel).expect("extractable");
+        let z = eq.equivalent().impedance(2e9).expect("solvable")[(0, 1)];
+        println!(
+            "{label:>11}: {} nodes, error {:.2}%",
+            eq.equivalent().node_count(),
+            100.0 * (z - z_ref).norm() / z_ref.norm()
+        );
+        contenders.push((label, sel));
+    }
+    let mut g = c.benchmark_group("ablation_node_budget");
+    g.sample_size(10);
+    for (label, sel) in contenders {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &sel, |b, sel| {
+            b.iter(|| black_box(&spec).extract(sel).expect("ok"))
+        });
+    }
+    g.finish();
+}
+
+fn taylor_formulation_ablation(c: &mut Criterion) {
+    let spec = base_plane();
+    let eq = spec
+        .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+        .expect("extractable")
+        .equivalent()
+        .clone();
+    println!("--- ablation: Taylor-expanded impedance (paper eqs. 18-19) ---");
+    let f10 = spec.pair().cavity_resonance(mm(20.0), mm(20.0), 1, 0);
+    for &frac in &[0.02, 0.1, 0.3, 0.6] {
+        let f = frac * f10;
+        let zt = eq.taylor_impedance(f, 0).expect("solvable");
+        let ze = eq.grounded_impedance_exact(f, 0).expect("solvable");
+        println!(
+            "f/f10 = {frac:.2}: truncation error {:.3e} (of {:.3e})",
+            (&zt - &ze).max_abs(),
+            ze.max_abs()
+        );
+    }
+    c.bench_function("ablation_taylor_impedance_eval", |b| {
+        b.iter(|| eq.taylor_impedance(black_box(0.2 * f10), 0).expect("ok"))
+    });
+    c.bench_function("ablation_exact_impedance_eval", |b| {
+        b.iter(|| eq.grounded_impedance_exact(black_box(0.2 * f10), 0).expect("ok"))
+    });
+}
+
+criterion_group!(
+    benches,
+    testing_scheme_ablation,
+    node_budget_ablation,
+    taylor_formulation_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 1: split MCM power planes and their discretization.
+//!
+//! Prints the mesh statistics of the complementary 3.3 V / 5 V nets, then
+//! times the quadrilateral mesher.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_core::boards::split_mcm_planes;
+use pdn_geom::{units::mm, PlaneMesh};
+use std::hint::black_box;
+
+fn fig1(c: &mut Criterion) {
+    let (vcc0, vcc1) = split_mcm_planes();
+    let shapes = vec![vcc0, vcc1];
+    let mesh = PlaneMesh::build_multi(&shapes, mm(1.25)).expect("meshable");
+    println!("--- Fig. 1: split MCM plane discretization ---");
+    println!("{mesh}");
+    println!(
+        "net 0 cells: {}   net 1 cells: {}",
+        (0..mesh.cell_count()).filter(|&i| mesh.cell_net(i) == 0).count(),
+        (0..mesh.cell_count()).filter(|&i| mesh.cell_net(i) == 1).count(),
+    );
+
+    c.bench_function("fig1_mesh_split_planes_1p25mm", |b| {
+        b.iter(|| PlaneMesh::build_multi(black_box(&shapes), mm(1.25)).expect("meshable"))
+    });
+    c.bench_function("fig1_mesh_split_planes_2p5mm", |b| {
+        b.iter(|| PlaneMesh::build_multi(black_box(&shapes), mm(2.5)).expect("meshable"))
+    });
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 2: the N-node equivalent circuit with common ground.
+//!
+//! Prints the branch R/L/C values of a 4-port extraction, then times the
+//! full mesh → BEM → macromodel pipeline and its stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_bench::fig2_plane;
+use pdn_extract::{EquivalentCircuit, NodeSelection};
+use std::hint::black_box;
+
+fn fig2(c: &mut Criterion) {
+    let spec = fig2_plane();
+    let extracted = spec.extract(&NodeSelection::PortsOnly).expect("extractable");
+    let eq = extracted.equivalent();
+    println!("--- Fig. 2: four-node equivalent circuit ---");
+    println!("branch      L [nH]    R [mOhm]    C [pF]");
+    for br in eq.branches() {
+        println!(
+            "{}-{}   {:>9.3} {:>10.3} {:>9.4}",
+            eq.node_names()[br.m],
+            eq.node_names()[br.n],
+            br.inductance().map_or(f64::NAN, |l| l * 1e9),
+            br.resistance().map_or(0.0, |r| r * 1e3),
+            br.capacitance * 1e12
+        );
+    }
+
+    c.bench_function("fig2_full_extraction_100_cells", |b| {
+        b.iter(|| {
+            black_box(&spec)
+                .extract(&NodeSelection::PortsOnly)
+                .expect("extractable")
+        })
+    });
+    let bem = extracted.bem().clone();
+    c.bench_function("fig2_macromodel_from_assembled_bem", |b| {
+        b.iter(|| {
+            EquivalentCircuit::from_bem(black_box(&bem), &NodeSelection::PortsOnly)
+                .expect("extractable")
+        })
+    });
+    c.bench_function("fig2_impedance_eval_1ghz", |b| {
+        b.iter(|| eq.impedance(black_box(1e9)).expect("solvable"))
+    });
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

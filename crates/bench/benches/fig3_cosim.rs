@@ -1,0 +1,49 @@
+//! Figure 3: the four-subsystem partition and its dynamic co-simulation.
+//!
+//! Prints the realized partition of a small board system, then times the
+//! build (extraction + wiring) and a short transient co-simulation step
+//! loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_core::prelude::*;
+use std::hint::black_box;
+
+fn board() -> BoardSpec {
+    let plane = PlaneSpec::rectangle(mm(60.0), mm(40.0), 0.5e-3, 4.5)
+        .expect("valid pair")
+        .with_sheet_resistance(1e-3)
+        .with_cell_size(mm(5.0));
+    BoardSpec::new(plane, 3.3, Point::new(mm(5.0), mm(5.0)))
+        .with_chip(ChipSpec::cmos("U1", Point::new(mm(45.0), mm(25.0)), 4))
+        .with_decap(DecapSpec::ceramic_100nf(Point::new(mm(40.0), mm(25.0))))
+}
+
+fn fig3(c: &mut Criterion) {
+    let spec = board();
+    let sel = NodeSelection::PortsAndGrid { stride: 3 };
+    let system = spec.build(&sel, 2).expect("buildable");
+    let p = system.partition();
+    println!("--- Fig. 3: four-subsystem partition ---");
+    println!(
+        "devices: {}   packages: {}   signal nets: {}   PDN nodes: {}",
+        p.devices, p.packages, p.signal_nets, p.pdn_nodes
+    );
+    let out = system.run(10e-9, 0.1e-9).expect("simulatable");
+    println!(
+        "10 ns co-simulation: peak die noise {:.3} V, plane noise {:.3} V",
+        out.peak_noise, out.plane_noise_peak
+    );
+
+    c.bench_function("fig3_build_board_system", |b| {
+        b.iter(|| black_box(&spec).build(&sel, 2).expect("buildable"))
+    });
+    let mut g = c.benchmark_group("fig3_cosim_transient");
+    g.sample_size(10);
+    g.bench_function("10ns_dt100ps", |b| {
+        b.iter(|| system.run(black_box(10e-9), 0.1e-9).expect("simulatable"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 4: coupled-microstrip per-unit-length extraction (2-D MoM).
+//!
+//! Prints the L/C matrices and modal parameters for the paper's
+//! cross-section, then times the field solve at two discretization
+//! densities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_core::boards::coupled_microstrip_pair;
+use pdn_tline::MicrostripArray;
+use std::hint::black_box;
+
+fn fig4(c: &mut Criterion) {
+    let pair = coupled_microstrip_pair();
+    let cm = pair.capacitance_matrix().expect("solvable");
+    let lm = pair.inductance_matrix().expect("solvable");
+    println!("--- Fig. 4: coupled microstrip cross-section ---");
+    println!(
+        "C [pF/m]: diag {:.2}, mutual {:.2}",
+        cm[(0, 0)] * 1e12,
+        cm[(0, 1)] * 1e12
+    );
+    println!(
+        "L [nH/m]: diag {:.1}, mutual {:.1}",
+        lm[(0, 0)] * 1e9,
+        lm[(0, 1)] * 1e9
+    );
+    let model = pair.line_model(0.25).expect("modal");
+    for (k, v) in model.velocities().iter().enumerate() {
+        println!("mode {k}: v = {:.4e} m/s", v);
+    }
+
+    c.bench_function("fig4_extract_24_segments", |b| {
+        b.iter(|| black_box(&pair).capacitance_matrix().expect("solvable"))
+    });
+    let fine = MicrostripArray::uniform(2, 6e-3, 6e-3, 5e-3, 4.5).with_segments(60);
+    c.bench_function("fig4_extract_60_segments", |b| {
+        b.iter(|| black_box(&fine).capacitance_matrix().expect("solvable"))
+    });
+    c.bench_function("fig4_modal_decomposition", |b| {
+        b.iter(|| black_box(&pair).line_model(0.25).expect("modal"))
+    });
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

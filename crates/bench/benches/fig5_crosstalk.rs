@@ -1,0 +1,56 @@
+//! Figure 5: coupled-line transient crosstalk waveforms.
+//!
+//! Prints the near/far-end active and victim waveforms for the paper's
+//! 5 V / 0.3 ns / 1 ns pulse into 50 Ohm terminations, then times the
+//! method-of-characteristics transient run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_circuit::Waveform;
+use pdn_core::boards::coupled_microstrip_pair;
+use pdn_tline::simulate_coupled_pair;
+use std::hint::black_box;
+
+fn fig5(c: &mut Criterion) {
+    let model = coupled_microstrip_pair().line_model(0.25).expect("modal");
+    let stim = Waveform::pulse(0.0, 5.0, 0.2e-9, 0.3e-9, 0.3e-9, 1.0e-9);
+    let res =
+        simulate_coupled_pair(&model, stim.clone(), 50.0, 50.0, 8e-9, 5e-12).expect("runnable");
+    println!("--- Fig. 5: crosstalk waveform samples ---");
+    println!("t [ns]  act.near  act.far  vict.near  vict.far");
+    let n = res.time.len();
+    for k in (0..n).step_by(n / 16) {
+        println!(
+            "{:>6.2} {:>9.3} {:>8.3} {:>10.4} {:>9.4}",
+            res.time[k] * 1e9,
+            res.active_near[k],
+            res.active_far[k],
+            res.victim_near[k],
+            res.victim_far[k]
+        );
+    }
+    println!(
+        "peaks: NEXT {:.3} V, FEXT {:.3} V",
+        res.next_peak(),
+        res.fext_peak()
+    );
+
+    let mut g = c.benchmark_group("fig5_crosstalk");
+    g.sample_size(20);
+    g.bench_function("moc_transient_8ns_dt5ps", |b| {
+        b.iter(|| {
+            simulate_coupled_pair(
+                black_box(&model),
+                stim.clone(),
+                50.0,
+                50.0,
+                8e-9,
+                5e-12,
+            )
+            .expect("runnable")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 6: the HP test plane structure and its BEM assembly.
+//!
+//! Prints the discretization the 42-node macromodel is built from, then
+//! times the boundary-element matrix assembly — the dominant extraction
+//! cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_bench::hp_plane_bench;
+use pdn_extract::NodeSelection;
+use std::hint::black_box;
+
+fn fig6(c: &mut Criterion) {
+    let spec = hp_plane_bench();
+    let extracted = spec
+        .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+        .expect("extractable");
+    println!("--- Fig. 6: HP test plane discretization ---");
+    println!("{}", extracted.bem().mesh());
+    println!(
+        "macromodel nodes: {} (paper: 42)",
+        extracted.equivalent().node_count()
+    );
+
+    let mut g = c.benchmark_group("fig6_bem_assembly");
+    g.sample_size(10);
+    g.bench_function("extract_2mm_cells", |b| {
+        b.iter(|| {
+            black_box(&spec)
+                .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+                .expect("extractable")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

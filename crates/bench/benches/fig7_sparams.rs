@@ -1,0 +1,49 @@
+//! Figure 7: |S21| of the HP test plane — equivalent circuit vs the
+//! independent FDTD reference.
+//!
+//! Prints the two curves (the paper's sim/exp overlay), then times a
+//! per-frequency S-parameter solve of the macromodel and one full FDTD
+//! reference sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_bench::hp_plane_bench;
+use pdn_core::verify;
+use pdn_extract::NodeSelection;
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    let spec = hp_plane_bench();
+    let extracted = spec
+        .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+        .expect("extractable");
+    let eq = extracted.equivalent();
+    let freqs: Vec<f64> = (1..=20).map(|k| k as f64 * 0.7e9).collect();
+    let s_eq = verify::circuit_s21_db(eq, 0, 1, &freqs, 50.0).expect("solvable");
+    let s_fd = verify::fdtd_s21_db(&spec, 0, 1, &freqs, 50.0, 16e9).expect("solvable");
+    println!("--- Fig. 7: |S21| P1->P2 (dB), circuit vs FDTD reference ---");
+    println!("f [GHz]   circuit    FDTD    delta");
+    for ((f, a), b) in freqs.iter().zip(&s_eq).zip(&s_fd) {
+        println!(
+            "{:>6.1} {:>9.2} {:>8.2} {:>7.2}",
+            f / 1e9,
+            a,
+            b,
+            a - b
+        );
+    }
+
+    c.bench_function("fig7_s21_single_frequency", |b| {
+        b.iter(|| eq.s_parameters(black_box(5e9), 50.0).expect("solvable"))
+    });
+    let mut g = c.benchmark_group("fig7_reference");
+    g.sample_size(10);
+    g.bench_function("fdtd_s21_sweep", |b| {
+        b.iter(|| {
+            verify::fdtd_s21_db(black_box(&spec), 0, 1, &freqs, 50.0, 16e9).expect("solvable")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Figure 8: transient at Port 2 of the HP test plane — equivalent RLC
+//! circuit vs 2-D FDTD (5 V, 0.2 ns edges, 1 ns width pulse at Port 1,
+//! all ports 50 Ohm).
+//!
+//! Prints the overlaid waveforms, then times each engine separately.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_bench::hp_plane_bench;
+use pdn_circuit::Waveform;
+use pdn_core::verify;
+use pdn_extract::NodeSelection;
+use pdn_fdtd::PlaneFdtd;
+use std::hint::black_box;
+
+fn fig8(c: &mut Criterion) {
+    let spec = hp_plane_bench();
+    let extracted = spec
+        .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+        .expect("extractable");
+    let stim = Waveform::pulse(0.0, 5.0, 0.1e-9, 0.2e-9, 0.2e-9, 1.0e-9);
+    let cmp = verify::transient_comparison(
+        &spec,
+        &extracted,
+        0,
+        1,
+        stim.clone(),
+        50.0,
+        5e-9,
+        2e-12,
+    )
+    .expect("comparable");
+    println!("--- Fig. 8: transient at Port 2 (circuit vs FDTD) ---");
+    println!("t [ns]   circuit    FDTD");
+    let n = cmp.time.len();
+    for k in (0..n).step_by(n / 20) {
+        println!(
+            "{:>6.2} {:>9.4} {:>8.4}",
+            cmp.time[k] * 1e9,
+            cmp.circuit[k],
+            cmp.fdtd[k]
+        );
+    }
+    println!(
+        "peaks: circuit {:.3} V / FDTD {:.3} V, rms diff {:.3} V",
+        cmp.circuit_peak(),
+        cmp.fdtd_peak(),
+        cmp.rms_difference()
+    );
+
+    let mut g = c.benchmark_group("fig8_transient");
+    g.sample_size(10);
+    g.bench_function("both_engines_5ns", |b| {
+        b.iter(|| {
+            verify::transient_comparison(
+                black_box(&spec),
+                &extracted,
+                0,
+                1,
+                stim.clone(),
+                50.0,
+                5e-9,
+                2e-12,
+            )
+            .expect("comparable")
+        })
+    });
+    g.bench_function("fdtd_only_5ns", |b| {
+        b.iter(|| {
+            let shape = spec.single_shape().expect("single net");
+            let mut sim = PlaneFdtd::new(shape, spec.pair(), spec.cell_size())
+                .expect("grid")
+                .with_loss(2.0 * spec.sheet_resistance());
+            let mut ids = Vec::new();
+            for (name, p) in spec.ports() {
+                ids.push(sim.add_port(name.clone(), *p, 50.0).expect("port"));
+            }
+            sim.drive_port(ids[0], stim.clone());
+            sim.run(5e-9)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

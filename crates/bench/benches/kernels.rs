@@ -1,0 +1,124 @@
+//! Micro-benchmarks of the numerical kernels behind every experiment:
+//! panel integrals, BEM assembly, LU factorization, MNA transient steps,
+//! and FDTD stepping. These quantify the "practical computational
+//! requirement of an engineering workstation" the paper emphasizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdn_circuit::{Circuit, TransientSpec, Waveform};
+use pdn_fdtd::PlaneFdtd;
+use pdn_geom::{units::mm, PlanePair, Point, Polygon};
+use pdn_greens::{LayeredKernel, Rectangle};
+use pdn_num::{c64, fft, GaussLegendre, LuDecomposition, Matrix};
+use std::hint::black_box;
+
+fn panel_integrals(c: &mut Criterion) {
+    let g = LayeredKernel::scalar_confined(4.5, 0.5e-3);
+    let panel = Rectangle::new(1e-3, 1e-3);
+    c.bench_function("kernel_panel_integral_closed_form", |b| {
+        b.iter(|| g.panel_integral(black_box((3e-3, 2e-3)), panel))
+    });
+    let quad = GaussLegendre::new(4);
+    c.bench_function("kernel_panel_galerkin_4x4", |b| {
+        b.iter(|| g.panel_galerkin(black_box((3e-3, 2e-3)), panel, panel, &quad))
+    });
+}
+
+fn lu_solves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_factorization");
+    for &n in &[50usize, 150, 300] {
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                10.0
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        group.bench_with_input(BenchmarkId::new("real", n), &a, |b, a| {
+            b.iter(|| LuDecomposition::new(black_box(a.clone())).expect("nonsingular"))
+        });
+        let ac = a.map(|x| c64::new(x, 0.1 * x));
+        group.bench_with_input(BenchmarkId::new("complex", n), &ac, |b, a| {
+            b.iter(|| LuDecomposition::new(black_box(a.clone())).expect("nonsingular"))
+        });
+    }
+    group.finish();
+}
+
+fn mna_transient(c: &mut Criterion) {
+    // A 100-section RLC ladder: the paper's "fast solver" scenario —
+    // constant matrix, one LU, thousands of back-substitutions.
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.voltage_source(prev, Circuit::GND, Waveform::pulse(0.0, 1.0, 0.0, 0.1e-9, 0.1e-9, 2e-9));
+    for k in 0..100 {
+        let a = ckt.node(format!("a{k}"));
+        let b = ckt.node(format!("b{k}"));
+        ckt.resistor(prev, a, 0.05);
+        ckt.inductor(a, b, 0.5e-9);
+        ckt.capacitor(b, Circuit::GND, 2e-12);
+        prev = b;
+    }
+    let mut g = c.benchmark_group("mna_transient_ladder_100");
+    g.sample_size(20);
+    g.bench_function("10ns_dt10ps", |b| {
+        b.iter(|| {
+            ckt.transient(&TransientSpec::new(black_box(10e-9), 10e-12))
+                .expect("runnable")
+        })
+    });
+    g.finish();
+}
+
+fn fdtd_stepping(c: &mut Criterion) {
+    let pair = PlanePair::new(0.5e-3, 4.5).expect("valid");
+    let mut g = c.benchmark_group("fdtd_plane");
+    g.sample_size(10);
+    for &cell_mm in &[1.0f64, 0.5] {
+        g.bench_with_input(
+            BenchmarkId::new("2ns_run_cell_mm", format!("{cell_mm}")),
+            &cell_mm,
+            |b, &cell_mm| {
+                b.iter(|| {
+                    let mut sim = PlaneFdtd::new(
+                        &Polygon::rectangle(mm(40.0), mm(40.0)),
+                        &pair,
+                        mm(cell_mm),
+                    )
+                    .expect("grid");
+                    let p = sim
+                        .add_port("p", Point::new(mm(5.0), mm(5.0)), 50.0)
+                        .expect("port");
+                    sim.drive_port(
+                        p,
+                        Waveform::pulse(0.0, 1.0, 0.0, 0.1e-9, 0.1e-9, 0.2e-9),
+                    );
+                    sim.run(black_box(2e-9))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fft_kernel(c: &mut Criterion) {
+    let data: Vec<c64> = (0..4096)
+        .map(|i| c64::new((i as f64 * 0.1).sin(), 0.0))
+        .collect();
+    c.bench_function("fft_4096", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            fft(black_box(&mut buf));
+            buf
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    panel_integrals,
+    lu_solves,
+    mna_transient,
+    fdtd_stepping,
+    fft_kernel
+);
+criterion_main!(benches);

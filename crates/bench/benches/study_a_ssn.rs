@@ -1,0 +1,56 @@
+//! Study A (Section 6.2): SSN vs number of switching drivers, with and
+//! without decoupling.
+//!
+//! Prints the noise table the paper's pre-layout study produces, then
+//! times one co-simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_core::boards::{ssn_study_a_board, ssn_study_a_decaps};
+use pdn_extract::NodeSelection;
+use std::hint::black_box;
+
+fn study_a(c: &mut Criterion) {
+    let board = ssn_study_a_board(0.7).expect("valid board");
+    let sel = NodeSelection::PortsAndGrid { stride: 4 };
+
+    println!("--- Study A: ground noise vs switching drivers ---");
+    println!("drivers   die noise [V]   plane noise [V]");
+    for &n in &[1usize, 4, 16] {
+        let out = board
+            .build(&sel, n)
+            .expect("buildable")
+            .run(20e-9, 0.1e-9)
+            .expect("runnable");
+        println!(
+            "{:>7} {:>14.3} {:>16.3}",
+            n, out.peak_noise, out.plane_noise_peak
+        );
+    }
+    println!("\ndecaps (16 switching)   plane noise [V]");
+    for &nd in &[0usize, 4, 8] {
+        let mut b = board.clone();
+        for d in ssn_study_a_decaps(nd) {
+            b = b.with_decap(d);
+        }
+        let out = b
+            .build(&sel, 16)
+            .expect("buildable")
+            .run(20e-9, 0.1e-9)
+            .expect("runnable");
+        println!("{:>21} {:>16.3}", nd, out.plane_noise_peak);
+    }
+
+    let system = board.build(&sel, 16).expect("buildable");
+    let mut g = c.benchmark_group("study_a");
+    g.sample_size(10);
+    g.bench_function("cosim_20ns_16_drivers", |b| {
+        b.iter(|| system.run(black_box(20e-9), 0.1e-9).expect("runnable"))
+    });
+    g.bench_function("board_build_and_extract", |b| {
+        b.iter(|| black_box(&board).build(&sel, 16).expect("buildable"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, study_a);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Study B (Section 6.2): post-layout evaluation of the 26-chip board.
+//!
+//! Prints the worst-chip noise summary, then times the full-system build
+//! and one co-simulation run at the bench mesh density.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_core::boards::post_layout_study_b_board;
+use pdn_extract::NodeSelection;
+use std::hint::black_box;
+
+fn study_b(c: &mut Criterion) {
+    let board = post_layout_study_b_board(0.7).expect("valid board");
+    let sel = NodeSelection::PortsOnly;
+    let system = board.build(&sel, 2).expect("buildable");
+    let p = system.partition();
+    println!("--- Study B: 26-chip post-layout board ---");
+    println!(
+        "devices: {}   packages: {}   PDN nodes: {}",
+        p.devices, p.packages, p.pdn_nodes
+    );
+    let out = system.run(15e-9, 0.1e-9).expect("runnable");
+    let mean: f64 =
+        out.per_chip_peak.iter().sum::<f64>() / out.per_chip_peak.len() as f64;
+    println!(
+        "noise: worst {:.3} V, mean {:.3} V, plane {:.3} V",
+        out.peak_noise, mean, out.plane_noise_peak
+    );
+
+    let mut g = c.benchmark_group("study_b");
+    g.sample_size(10);
+    g.bench_function("build_26_chip_system", |b| {
+        b.iter(|| black_box(&board).build(&sel, 2).expect("buildable"))
+    });
+    g.bench_function("cosim_15ns", |b| {
+        b.iter(|| system.run(black_box(15e-9), 0.1e-9).expect("runnable"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, study_b);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Each bench target regenerates one figure or experiment of the paper
+//! (see `DESIGN.md`'s experiment index): it first prints the data series
+//! the paper reports, then times the computational kernel behind it with
+//! Criterion. Benches use slightly coarsened meshes so a full
+//! `cargo bench` stays in the minutes range; the examples run the
+//! full-resolution versions.
+
+use pdn_core::prelude::*;
+
+/// The quickstart plane used by Fig. 2-style extraction benches.
+pub fn fig2_plane() -> PlaneSpec {
+    PlaneSpec::rectangle(mm(20.0), mm(20.0), 0.5e-3, 4.5)
+        .expect("valid pair")
+        .with_sheet_resistance(1e-3)
+        .with_cell_size(mm(2.0))
+        .with_port("P1", mm(2.0), mm(2.0))
+        .with_port("P2", mm(18.0), mm(2.0))
+        .with_port("P3", mm(2.0), mm(18.0))
+        .with_port("P4", mm(18.0), mm(18.0))
+}
+
+/// The HP test plane at bench resolution (coarser than the example).
+pub fn hp_plane_bench() -> PlaneSpec {
+    let mut spec = PlaneSpec::rectangle(mm(40.0), mm(16.0), 280e-6, 9.6)
+        .expect("valid pair")
+        .with_sheet_resistance(6e-3)
+        .with_cell_size(mm(2.0));
+    for k in 0..5 {
+        spec = spec.with_port(format!("P{}", k + 1), mm(4.0 + 8.0 * k as f64), mm(8.0));
+    }
+    spec
+}
+
+/// Prints a two-column series with a caption (the "figure data").
+pub fn print_series(caption: &str, header: (&str, &str), rows: &[(f64, f64)]) {
+    println!("--- {caption} ---");
+    println!("{:>12}  {:>14}", header.0, header.1);
+    for (a, b) in rows {
+        println!("{a:>12.4}  {b:>14.4}");
+    }
+}

@@ -1,0 +1,350 @@
+//! Time-domain source waveforms.
+
+/// An independent-source waveform.
+///
+/// All times in seconds, amplitudes in volts (or amperes for current
+/// sources).
+///
+/// # Examples
+///
+/// ```
+/// use pdn_circuit::Waveform;
+///
+/// // The paper's Figure 5 stimulus: 5 V pulse, 0.3 ns rise/fall, 1 ns wide.
+/// let w = Waveform::pulse(0.0, 5.0, 0.0, 0.3e-9, 0.3e-9, 1.0e-9);
+/// assert_eq!(w.eval(0.0), 0.0);
+/// assert_eq!(w.eval(0.3e-9), 5.0);
+/// assert_eq!(w.eval(0.3e-9 + 1.0e-9), 5.0); // end of flat top
+/// assert_eq!(w.eval(1.0e-8), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// Step from `initial` to `level` at `delay`, instantaneous.
+    Step {
+        /// Value after the step.
+        level: f64,
+        /// Step time in seconds.
+        delay: f64,
+        /// Value before the step.
+        initial: f64,
+    },
+    /// Trapezoidal pulse: `v0` → `v1` with linear ramps.
+    Pulse {
+        /// Base value.
+        v0: f64,
+        /// Pulse value.
+        v1: f64,
+        /// Start of the rising edge.
+        delay: f64,
+        /// Rise time (0 allowed).
+        rise: f64,
+        /// Fall time (0 allowed).
+        fall: f64,
+        /// Flat-top duration between the end of rise and start of fall.
+        width: f64,
+    },
+    /// Piece-wise linear `(time, value)` points; clamped outside the range.
+    Pwl(Vec<(f64, f64)>),
+    /// `offset + amplitude·sin(2πf(t−delay))`, zero before `delay`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in Hz.
+        frequency: f64,
+        /// Start delay in seconds.
+        delay: f64,
+    },
+}
+
+impl Waveform {
+    /// DC value shorthand.
+    pub fn dc(v: f64) -> Self {
+        Waveform::Dc(v)
+    }
+
+    /// Step shorthand (starts at 0).
+    pub fn step(level: f64, delay: f64) -> Self {
+        Waveform::Step {
+            level,
+            delay,
+            initial: 0.0,
+        }
+    }
+
+    /// Trapezoidal pulse shorthand.
+    pub fn pulse(v0: f64, v1: f64, delay: f64, rise: f64, fall: f64, width: f64) -> Self {
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+        }
+    }
+
+    /// Piece-wise linear shorthand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or times are not strictly increasing.
+    pub fn pwl(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "PWL needs at least one point");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "PWL times must be strictly increasing");
+        }
+        Waveform::Pwl(points)
+    }
+
+    /// Evaluates the waveform at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Step {
+                level,
+                delay,
+                initial,
+            } => {
+                if t < *delay {
+                    *initial
+                } else {
+                    *level
+                }
+            }
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+            } => {
+                let t = t - delay;
+                if t <= 0.0 {
+                    *v0
+                } else if t < *rise {
+                    v0 + (v1 - v0) * t / rise
+                } else if t <= rise + width {
+                    *v1
+                } else if t < rise + width + fall {
+                    v1 + (v0 - v1) * (t - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Pwl(points) => {
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let ((t0, v0), (t1, v1)) = (w[0], w[1]);
+                    if t <= t1 {
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset
+                        + amplitude
+                            * (2.0 * std::f64::consts::PI * frequency * (t - delay)).sin()
+                }
+            }
+        }
+    }
+
+    /// A periodic 0→1 clock as a PWL pattern: `cycles` periods of the
+    /// given `period`, switching with linear edges of `edge` duration at
+    /// 50 % duty cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period > 2·edge > 0` and `cycles > 0`.
+    pub fn clock(period: f64, edge: f64, cycles: usize) -> Self {
+        assert!(edge > 0.0, "edge time must be positive");
+        assert!(period > 2.0 * edge, "period must exceed both edges");
+        assert!(cycles > 0, "need at least one cycle");
+        let half = 0.5 * period;
+        let mut pts = vec![(0.0, 0.0)];
+        for k in 0..cycles {
+            // Rising edge at the cycle start, falling edge at half period.
+            let t0 = k as f64 * period;
+            pts.push((t0 + edge, 1.0));
+            pts.push((t0 + half, 1.0));
+            pts.push((t0 + half + edge, 0.0));
+            pts.push((t0 + period, 0.0));
+        }
+        Waveform::pwl(pts)
+    }
+
+    /// A non-return-to-zero bit pattern as a PWL waveform: each bit lasts
+    /// `bit_time`, transitions take `edge`, levels are 0 and 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bits` is non-empty and `0 < edge < bit_time`.
+    pub fn bit_pattern(bits: &[bool], bit_time: f64, edge: f64) -> Self {
+        assert!(!bits.is_empty(), "need at least one bit");
+        assert!(edge > 0.0 && edge < bit_time, "edge must fit in a bit");
+        let lvl = |b: bool| if b { 1.0 } else { 0.0 };
+        let mut pts = vec![(0.0, lvl(bits[0]))];
+        for (k, w) in bits.windows(2).enumerate() {
+            if w[0] != w[1] {
+                let t0 = (k as f64 + 1.0) * bit_time;
+                pts.push((t0, lvl(w[0])));
+                pts.push((t0 + edge, lvl(w[1])));
+            }
+        }
+        let t_end = bits.len() as f64 * bit_time;
+        if pts.last().expect("nonempty").0 < t_end {
+            pts.push((t_end, lvl(*bits.last().expect("nonempty"))));
+        }
+        Waveform::pwl(pts)
+    }
+
+    /// `true` when the waveform never changes (a DC source). Constant
+    /// switch drives can then be folded into constant matrices.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, Waveform::Dc(_))
+    }
+
+    /// The value at `t = 0⁻` (initial condition for DC operating point).
+    pub fn initial_value(&self) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Step { initial, .. } => *initial,
+            Waveform::Pulse { v0, .. } => *v0,
+            Waveform::Pwl(points) => points[0].1,
+            Waveform::Sine { offset, .. } => *offset,
+        }
+    }
+}
+
+impl From<f64> for Waveform {
+    fn from(v: f64) -> Self {
+        Waveform::Dc(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_flat() {
+        let w = Waveform::dc(3.3);
+        assert_eq!(w.eval(0.0), 3.3);
+        assert_eq!(w.eval(1.0), 3.3);
+        assert_eq!(w.initial_value(), 3.3);
+    }
+
+    #[test]
+    fn step_transitions_at_delay() {
+        let w = Waveform::step(5.0, 1e-9);
+        assert_eq!(w.eval(0.999e-9), 0.0);
+        assert_eq!(w.eval(1e-9), 5.0);
+        assert_eq!(w.initial_value(), 0.0);
+    }
+
+    #[test]
+    fn pulse_profile() {
+        let w = Waveform::pulse(0.0, 5.0, 1e-9, 0.3e-9, 0.3e-9, 1.0e-9);
+        assert_eq!(w.eval(0.5e-9), 0.0);
+        assert!((w.eval(1.15e-9) - 2.5).abs() < 1e-12); // mid-rise
+        assert_eq!(w.eval(1.8e-9), 5.0); // flat top
+        assert!((w.eval(2.45e-9) - 2.5).abs() < 1e-12); // mid-fall
+        assert_eq!(w.eval(3.0e-9), 0.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::pwl(vec![(0.0, 0.0), (1.0, 2.0), (3.0, -2.0)]);
+        assert_eq!(w.eval(-1.0), 0.0);
+        assert!((w.eval(0.5) - 1.0).abs() < 1e-12);
+        assert!((w.eval(2.0) - 0.0).abs() < 1e-12);
+        assert_eq!(w.eval(5.0), -2.0);
+    }
+
+    #[test]
+    fn sine_starts_after_delay() {
+        let w = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 2.0,
+            frequency: 1.0,
+            delay: 0.5,
+        };
+        assert_eq!(w.eval(0.25), 1.0);
+        assert!((w.eval(0.5 + 0.25) - 3.0).abs() < 1e-12); // quarter period
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn pwl_bad_times_panics() {
+        let _ = Waveform::pwl(vec![(0.0, 1.0), (0.0, 2.0)]);
+    }
+
+    #[test]
+    fn from_f64_gives_dc() {
+        let w: Waveform = 2.5.into();
+        assert_eq!(w, Waveform::Dc(2.5));
+    }
+}
+
+#[cfg(test)]
+mod pattern_tests {
+    use super::*;
+
+    #[test]
+    fn clock_levels_and_period() {
+        let w = Waveform::clock(2e-9, 0.2e-9, 3);
+        assert_eq!(w.eval(0.0), 0.0);
+        assert_eq!(w.eval(0.5e-9), 1.0); // after the rising edge
+        assert_eq!(w.eval(1.5e-9), 0.0); // second half
+        assert_eq!(w.eval(2.5e-9), 1.0); // next cycle high
+        assert_eq!(w.eval(10e-9), 0.0); // after the pattern
+    }
+
+    #[test]
+    fn clock_edges_are_linear() {
+        let w = Waveform::clock(2e-9, 0.2e-9, 1);
+        assert!((w.eval(0.1e-9) - 0.5).abs() < 1e-9);
+        assert!((w.eval(1.1e-9) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bit_pattern_follows_bits() {
+        let w = Waveform::bit_pattern(&[true, true, false, true], 1e-9, 0.1e-9);
+        assert_eq!(w.eval(0.5e-9), 1.0);
+        assert_eq!(w.eval(1.5e-9), 1.0);
+        assert_eq!(w.eval(2.6e-9), 0.0);
+        assert_eq!(w.eval(3.5e-9), 1.0);
+        // Transition midpoint.
+        assert!((w.eval(2.05e-9) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_bit_pattern_is_flat() {
+        let w = Waveform::bit_pattern(&[true, true, true], 1e-9, 0.1e-9);
+        for k in 0..30 {
+            assert_eq!(w.eval(k as f64 * 0.1e-9), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "edge must fit")]
+    fn bad_bit_edge_panics() {
+        let _ = Waveform::bit_pattern(&[true], 1e-9, 2e-9);
+    }
+}

@@ -1,0 +1,654 @@
+//! Four-subsystem co-simulation (paper Section 5.2, Figure 3).
+//!
+//! A completely designed digital board is partitioned into chip devices
+//! (behavioral CMOS drivers), chip packages (pin R/L/C parasitics), signal
+//! nets (transmission lines), and the power/ground planes (the extracted
+//! R–L‖C macromodel). [`BoardSpec::build`] wires all four into a single
+//! MNA netlist; every power/ground pin is a node of the equivalent
+//! circuit, so the switching currents act directly as excitations on the
+//! distributed planes and the resulting noise feeds back into the devices
+//! — the paper's dynamic interaction, achieved here by solving the
+//! combined system.
+
+use crate::flow::{ExtractPlaneError, PlaneSpec};
+use pdn_circuit::netlist::SourceId;
+use pdn_circuit::{Circuit, CoupledLineModel, NodeId, SimulateCircuitError, TransientSpec, Waveform};
+use pdn_extract::NodeSelection;
+use pdn_geom::Point;
+use pdn_num::Matrix;
+use std::error::Error;
+use std::fmt;
+
+/// A signal net driven by one of a chip's drivers: a single transmission
+/// line to a far-end load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalLineSpec {
+    /// Per-unit-length inductance (H/m).
+    pub l_per_m: f64,
+    /// Per-unit-length capacitance (F/m).
+    pub c_per_m: f64,
+    /// Physical length (m).
+    pub length: f64,
+    /// Far-end load resistance (Ω).
+    pub r_load: f64,
+}
+
+impl SignalLineSpec {
+    /// A 50 Ω line with the given delay-per-meter velocity and length.
+    pub fn z50(length: f64) -> Self {
+        let v = 1.5e8; // typical FR4 stripline velocity
+        SignalLineSpec {
+            l_per_m: 50.0 / v,
+            c_per_m: 1.0 / (50.0 * v),
+            length,
+            r_load: 50.0,
+        }
+    }
+
+    /// Smallest modal delay (s) — the transient step must stay below it.
+    pub fn delay(&self) -> f64 {
+        self.length * (self.l_per_m * self.c_per_m).sqrt()
+    }
+}
+
+/// A chip: several CMOS output drivers behind package pin parasitics.
+#[derive(Debug, Clone)]
+pub struct ChipSpec {
+    /// Instance name (also used for plane port naming).
+    pub name: String,
+    /// Location of the chip's power pins on the plane.
+    pub location: Point,
+    /// Number of output drivers.
+    pub drivers: usize,
+    /// Driver output-stage on-resistance (Ω).
+    pub r_on: f64,
+    /// Lumped load capacitance per driver output (F).
+    pub load_c: f64,
+    /// Package pin series resistance (Ω).
+    pub pin_r: f64,
+    /// Package pin series inductance (H).
+    pub pin_l: f64,
+    /// Package pin shunt capacitance (F).
+    pub pin_c: f64,
+    /// Number of parallel Vcc/Gnd pin pairs feeding the die (large parts
+    /// spread the switching current over many power pins).
+    pub power_pin_pairs: usize,
+    /// Gate drive waveform in `[0, 1]` applied to switching drivers.
+    pub data: Waveform,
+    /// Optional signal net per driver output.
+    pub line: Option<SignalLineSpec>,
+}
+
+impl ChipSpec {
+    /// A CMOS output-buffer bank with typical QFP-class packaging:
+    /// `R_on = 15 Ω`, 30 pF loads, 5 nH / 0.5 Ω / 1 pF pins (one Vcc/Gnd
+    /// pin pair per four drivers), and a 1 ns-edge switching pattern.
+    pub fn cmos(name: impl Into<String>, location: Point, drivers: usize) -> Self {
+        ChipSpec {
+            name: name.into(),
+            location,
+            drivers,
+            r_on: 15.0,
+            load_c: 30e-12,
+            pin_r: 0.5,
+            pin_l: 5e-9,
+            pin_c: 1e-12,
+            power_pin_pairs: drivers.div_ceil(4).max(1),
+            data: Waveform::pulse(0.0, 1.0, 2e-9, 1e-9, 1e-9, 8e-9),
+            line: None,
+        }
+    }
+
+    /// Sets the gate drive waveform (builder style).
+    pub fn with_data(mut self, data: Waveform) -> Self {
+        self.data = data;
+        self
+    }
+
+    /// Sets the driver edge on-resistance (builder style).
+    pub fn with_r_on(mut self, r_on: f64) -> Self {
+        self.r_on = r_on;
+        self
+    }
+
+    /// Attaches a signal line to every driver output (builder style).
+    pub fn with_line(mut self, line: SignalLineSpec) -> Self {
+        self.line = Some(line);
+        self
+    }
+}
+
+/// A decoupling capacitor placed on the plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecapSpec {
+    /// Mounting location.
+    pub location: Point,
+    /// Capacitance (F).
+    pub c: f64,
+    /// Equivalent series resistance (Ω).
+    pub esr: f64,
+    /// Equivalent series inductance (H).
+    pub esl: f64,
+}
+
+impl DecapSpec {
+    /// A typical 100 nF X7R ceramic: 30 mΩ ESR, 1.2 nH ESL.
+    pub fn ceramic_100nf(location: Point) -> Self {
+        DecapSpec {
+            location,
+            c: 100e-9,
+            esr: 0.03,
+            esl: 1.2e-9,
+        }
+    }
+}
+
+/// The complete board: plane + supply + chips + decoupling.
+#[derive(Debug, Clone)]
+pub struct BoardSpec {
+    /// The power/ground plane structure (ports are added automatically).
+    pub plane: PlaneSpec,
+    /// Supply voltage (V).
+    pub vcc: f64,
+    /// Voltage-regulator connection point on the plane.
+    pub supply_location: Point,
+    /// Supply series resistance (Ω).
+    pub supply_r: f64,
+    /// Supply series inductance (H) — bulk path.
+    pub supply_l: f64,
+    /// Chips on the board.
+    pub chips: Vec<ChipSpec>,
+    /// Decoupling capacitors.
+    pub decaps: Vec<DecapSpec>,
+}
+
+impl BoardSpec {
+    /// Creates a board around an (un-ported) plane spec.
+    pub fn new(plane: PlaneSpec, vcc: f64, supply_location: Point) -> Self {
+        BoardSpec {
+            plane,
+            vcc,
+            supply_location,
+            supply_r: 0.01,
+            supply_l: 10e-9,
+            chips: Vec::new(),
+            decaps: Vec::new(),
+        }
+    }
+
+    /// Adds a chip (builder style).
+    pub fn with_chip(mut self, chip: ChipSpec) -> Self {
+        self.chips.push(chip);
+        self
+    }
+
+    /// Adds a decoupling capacitor (builder style).
+    pub fn with_decap(mut self, decap: DecapSpec) -> Self {
+        self.decaps.push(decap);
+        self
+    }
+
+    /// Extracts the plane macromodel and wires the full system netlist.
+    ///
+    /// `switching` drivers per chip (capped at each chip's driver count)
+    /// receive the chip's data waveform; the rest idle low.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildBoardError`] when the extraction or wiring fails.
+    pub fn build(
+        &self,
+        selection: &NodeSelection,
+        switching: usize,
+    ) -> Result<BoardSystem, BuildBoardError> {
+        // 1. Plane ports: supply + one power port per chip + one per decap.
+        let mut plane = self.plane.clone();
+        plane = plane.with_port("VRM", self.supply_location.x, self.supply_location.y);
+        for chip in &self.chips {
+            plane = plane.with_port(
+                format!("{}_vcc", chip.name),
+                chip.location.x,
+                chip.location.y,
+            );
+        }
+        for (k, d) in self.decaps.iter().enumerate() {
+            plane = plane.with_port(format!("decap{k}"), d.location.x, d.location.y);
+        }
+        let extracted = plane.extract(selection)?;
+
+        // 2. Stamp the macromodel into the netlist.
+        let mut ckt = Circuit::new();
+        let eq = extracted.equivalent();
+        let nodes = eq.to_circuit(&mut ckt, "pg_", 0.0);
+        let port_node = |p: usize| nodes[eq.port_node(p)];
+
+        // 3. Supply.
+        let vrm_plane = port_node(0);
+        let vrm_src = ckt.node("vrm_src");
+        let supply = ckt.voltage_source(vrm_src, Circuit::GND, Waveform::dc(self.vcc));
+        let mid = ckt.new_node();
+        ckt.resistor(vrm_src, mid, self.supply_r.max(1e-6));
+        ckt.inductor(mid, vrm_plane, self.supply_l.max(1e-15));
+
+        // 4. Chips.
+        let mut chip_rails = Vec::new();
+        let mut chip_plane_nodes = Vec::new();
+        let mut driver_outputs = Vec::new();
+        let mut signal_nets = 0usize;
+        let mut devices = 0usize;
+        for (ci, chip) in self.chips.iter().enumerate() {
+            let plane_node = port_node(1 + ci);
+            chip_plane_nodes.push(plane_node);
+            let die_vcc = ckt.node(format!("{}_die_vcc", chip.name));
+            let die_gnd = ckt.node(format!("{}_die_gnd", chip.name));
+            // Parallel power-pin pairs divide the package inductance and
+            // resistance seen by the shared rail.
+            let pairs = chip.power_pin_pairs.max(1) as f64;
+            let (pr, pl, pc) = (chip.pin_r / pairs, chip.pin_l / pairs, chip.pin_c * pairs);
+            ckt.package_pin(plane_node, die_vcc, pr, pl, pc);
+            ckt.package_pin(Circuit::GND, die_gnd, pr, pl, pc);
+            chip_rails.push(die_vcc);
+            let mut outs = Vec::new();
+            for d in 0..chip.drivers {
+                let out = ckt.node(format!("{}_out{d}", chip.name));
+                let data = if d < switching {
+                    chip.data.clone()
+                } else {
+                    Waveform::dc(0.0)
+                };
+                ckt.cmos_driver(out, die_vcc, die_gnd, chip.r_on, data);
+                devices += 1;
+                match &chip.line {
+                    Some(line) => {
+                        let far = ckt.node(format!("{}_far{d}", chip.name));
+                        let model = CoupledLineModel::new(
+                            Matrix::from_rows(&[&[line.l_per_m]]),
+                            Matrix::from_rows(&[&[line.c_per_m]]),
+                            line.length,
+                        )
+                        .map_err(|e| BuildBoardError::Wiring(e.to_string()))?;
+                        ckt.coupled_line(model, vec![out], vec![far]);
+                        ckt.resistor(far, Circuit::GND, line.r_load);
+                        if chip.load_c > 0.0 {
+                            ckt.capacitor(far, Circuit::GND, chip.load_c);
+                        }
+                        signal_nets += 1;
+                    }
+                    None => {
+                        if chip.load_c > 0.0 {
+                            ckt.capacitor(out, Circuit::GND, chip.load_c);
+                        }
+                    }
+                }
+                outs.push(out);
+            }
+            driver_outputs.push(outs);
+        }
+
+        // 5. Decaps.
+        for (k, d) in self.decaps.iter().enumerate() {
+            let plane_node = port_node(1 + self.chips.len() + k);
+            ckt.decoupling_cap(plane_node, Circuit::GND, d.c, d.esr, d.esl);
+        }
+
+        Ok(BoardSystem {
+            circuit: ckt,
+            chip_rails,
+            chip_plane_nodes,
+            driver_outputs,
+            vcc: self.vcc,
+            supply,
+            pdn_nodes: eq.node_count(),
+            signal_nets,
+            devices,
+        })
+    }
+}
+
+/// Error from building a board system.
+#[derive(Debug)]
+pub enum BuildBoardError {
+    /// Plane extraction failed.
+    Extraction(ExtractPlaneError),
+    /// Netlist wiring failed (bad line parameters…).
+    Wiring(String),
+}
+
+impl fmt::Display for BuildBoardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildBoardError::Extraction(e) => write!(f, "extraction: {e}"),
+            BuildBoardError::Wiring(s) => write!(f, "wiring: {s}"),
+        }
+    }
+}
+
+impl Error for BuildBoardError {}
+
+impl From<ExtractPlaneError> for BuildBoardError {
+    fn from(e: ExtractPlaneError) -> Self {
+        BuildBoardError::Extraction(e)
+    }
+}
+
+/// Summary of the paper's Figure 3 partition, as realized in a built
+/// system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSummary {
+    /// Behavioral device count (driver output stages).
+    pub devices: usize,
+    /// Package pin models (two per chip: Vcc and Gnd paths).
+    pub packages: usize,
+    /// Transmission-line signal nets.
+    pub signal_nets: usize,
+    /// Power/ground macromodel node count.
+    pub pdn_nodes: usize,
+}
+
+/// A fully wired board system ready for transient co-simulation.
+#[derive(Debug, Clone)]
+pub struct BoardSystem {
+    circuit: Circuit,
+    chip_rails: Vec<NodeId>,
+    chip_plane_nodes: Vec<NodeId>,
+    driver_outputs: Vec<Vec<NodeId>>,
+    vcc: f64,
+    supply: SourceId,
+    pdn_nodes: usize,
+    signal_nets: usize,
+    devices: usize,
+}
+
+impl BoardSystem {
+    /// The underlying netlist (for custom probing or analyses).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The Figure 3 partition realized by this system.
+    pub fn partition(&self) -> PartitionSummary {
+        PartitionSummary {
+            devices: self.devices,
+            packages: 2 * self.chip_rails.len(),
+            signal_nets: self.signal_nets,
+            pdn_nodes: self.pdn_nodes,
+        }
+    }
+
+    /// Runs the co-simulation and reports the switching-noise outcome.
+    ///
+    /// A backward-Euler DC settle phase brings the rails to `vcc` before
+    /// recording; the supply inductor ringing into the plane capacitance
+    /// needs on the order of 100 ns to die out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-simulation failures.
+    pub fn run(&self, t_stop: f64, dt: f64) -> Result<SsnOutcome, SimulateCircuitError> {
+        // The settle phase uses a fixed number of large backward-Euler
+        // steps, so its cost does not grow with the requested duration: a
+        // very long settle is effectively a DC operating-point iteration
+        // that also kills µs-scale supply/decap modes. With transmission
+        // lines present the settle step is pinned to `dt` (wave-history
+        // sampling), so the duration must stay modest.
+        let settle = if self.signal_nets > 0 {
+            (400.0 * dt).max(150e-9)
+        } else {
+            1e-3
+        };
+        // The partitioned solver (paper Section 5.2) keeps the MNA matrix
+        // constant — one factorization for the entire run — with the
+        // switching devices coupled through per-step Norton iterations.
+        let spec = TransientSpec::new(t_stop, dt)
+            .with_settle(settle)
+            .with_partitioned_solver();
+        let res = self.circuit.transient(&spec)?;
+        let time = res.time().to_vec();
+        // Worst-chip rail noise.
+        let mut worst_peak = 0.0;
+        let mut worst_idx = 0;
+        let mut per_chip_peak = Vec::with_capacity(self.chip_rails.len());
+        for (i, &rail) in self.chip_rails.iter().enumerate() {
+            let peak = res
+                .voltage(rail)
+                .iter()
+                .map(|&v| (v - self.vcc).abs())
+                .fold(0.0, f64::max);
+            per_chip_peak.push(peak);
+            if peak > worst_peak {
+                worst_peak = peak;
+                worst_idx = i;
+            }
+        }
+        let rail_noise = res
+            .voltage(self.chip_rails[worst_idx])
+            .iter()
+            .map(|&v| v - self.vcc)
+            .collect();
+        // Board-level (plane) noise at the chip power pins — the quantity
+        // decoupling capacitors act on.
+        let plane_noise_peak = self
+            .chip_plane_nodes
+            .iter()
+            .map(|&node| {
+                res.voltage(node)
+                    .iter()
+                    .map(|&v| (v - self.vcc).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max);
+        let driver_output = self
+            .driver_outputs
+            .first()
+            .and_then(|outs| outs.first())
+            .map(|&n| res.voltage(n).to_vec())
+            .unwrap_or_default();
+        let supply_current = res.source_current(self.supply).iter().map(|&i| -i).collect();
+        Ok(SsnOutcome {
+            time,
+            rail_noise,
+            per_chip_peak,
+            peak_noise: worst_peak,
+            plane_noise_peak,
+            driver_output,
+            supply_current,
+        })
+    }
+}
+
+/// Result of an SSN co-simulation run.
+#[derive(Debug, Clone)]
+pub struct SsnOutcome {
+    /// Sample times (s).
+    pub time: Vec<f64>,
+    /// Rail-voltage deviation waveform of the worst chip (V).
+    pub rail_noise: Vec<f64>,
+    /// Peak |rail deviation| per chip (V).
+    pub per_chip_peak: Vec<f64>,
+    /// Worst peak noise across chips (V), measured at the die rail —
+    /// includes the package-pin inductive bounce.
+    pub peak_noise: f64,
+    /// Worst peak noise at the chips' plane connection points (V) — the
+    /// board-level PDN noise that decoupling capacitors suppress.
+    pub plane_noise_peak: f64,
+    /// Output waveform of the first driver (V).
+    pub driver_output: Vec<f64>,
+    /// Current delivered by the supply (A).
+    pub supply_current: Vec<f64>,
+}
+
+/// Sweeps the number of simultaneously switching drivers and reports the
+/// peak noise for each count — the paper's Study A experiment.
+///
+/// # Errors
+///
+/// Propagates build or simulation failures.
+pub fn ssn_switching_sweep(
+    board: &BoardSpec,
+    selection: &NodeSelection,
+    counts: &[usize],
+    t_stop: f64,
+    dt: f64,
+) -> Result<Vec<(usize, f64)>, Box<dyn Error>> {
+    let mut rows = Vec::with_capacity(counts.len());
+    for &n in counts {
+        let system = board.build(selection, n)?;
+        let outcome = system.run(t_stop, dt)?;
+        rows.push((n, outcome.peak_noise));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_geom::units::mm;
+
+    fn small_board() -> BoardSpec {
+        let plane = PlaneSpec::rectangle(mm(40.0), mm(30.0), 0.5e-3, 4.5)
+            .unwrap()
+            .with_sheet_resistance(1e-3)
+            .with_cell_size(mm(5.0));
+        BoardSpec::new(plane, 3.3, Point::new(mm(2.0), mm(2.0))).with_chip(ChipSpec::cmos(
+            "U1",
+            Point::new(mm(30.0), mm(20.0)),
+            4,
+        ))
+    }
+
+    #[test]
+    fn partition_reflects_structure() {
+        let sys = small_board()
+            .build(&NodeSelection::PortsAndGrid { stride: 3 }, 2)
+            .unwrap();
+        let p = sys.partition();
+        assert_eq!(p.devices, 4);
+        assert_eq!(p.packages, 2);
+        assert_eq!(p.signal_nets, 0);
+        assert!(p.pdn_nodes >= 2);
+    }
+
+    #[test]
+    fn rails_settle_to_vcc_without_switching() {
+        let sys = small_board()
+            .build(&NodeSelection::PortsAndGrid { stride: 3 }, 0)
+            .unwrap();
+        let out = sys.run(20e-9, 0.05e-9).unwrap();
+        assert!(
+            out.peak_noise < 0.02,
+            "quiet board stays at Vcc: noise {}",
+            out.peak_noise
+        );
+    }
+
+    #[test]
+    fn switching_creates_noise_and_output_toggles() {
+        let sys = small_board()
+            .build(&NodeSelection::PortsAndGrid { stride: 3 }, 4)
+            .unwrap();
+        let out = sys.run(20e-9, 0.05e-9).unwrap();
+        assert!(out.peak_noise > 0.02, "SSN present: {}", out.peak_noise);
+        let out_max = out.driver_output.iter().fold(0.0f64, |m, &v| m.max(v));
+        assert!(out_max > 2.5, "driver output reaches the rail: {out_max}");
+        // Supply eventually delivers charge.
+        let i_max = out.supply_current.iter().fold(0.0f64, |m, &v| m.max(v));
+        assert!(i_max > 0.0);
+    }
+
+    #[test]
+    fn more_switching_drivers_more_noise() {
+        let rows = ssn_switching_sweep(
+            &small_board(),
+            &NodeSelection::PortsAndGrid { stride: 3 },
+            &[1, 4],
+            20e-9,
+            0.05e-9,
+        )
+        .unwrap();
+        assert!(rows[1].1 > rows[0].1, "noise grows with switchers: {rows:?}");
+    }
+
+    #[test]
+    fn decap_reduces_noise() {
+        let base = small_board();
+        let with_decap = small_board().with_decap(DecapSpec::ceramic_100nf(Point::new(
+            mm(28.0),
+            mm(20.0),
+        )));
+        let sel = NodeSelection::PortsAndGrid { stride: 3 };
+        let n_base = base.build(&sel, 4).unwrap().run(20e-9, 0.05e-9).unwrap();
+        let n_dec = with_decap
+            .build(&sel, 4)
+            .unwrap()
+            .run(20e-9, 0.05e-9)
+            .unwrap();
+        // The decap acts on the board-level plane noise; the die-rail
+        // bounce is dominated by the package pin inductance and is mostly
+        // unaffected — exactly the engineering point of the paper's decap
+        // study.
+        assert!(
+            n_dec.plane_noise_peak < 0.8 * n_base.plane_noise_peak,
+            "decap suppresses plane noise: {} vs {}",
+            n_dec.plane_noise_peak,
+            n_base.plane_noise_peak
+        );
+    }
+
+    #[test]
+    fn signal_line_co_simulates() {
+        let plane = PlaneSpec::rectangle(mm(40.0), mm(30.0), 0.5e-3, 4.5)
+            .unwrap()
+            .with_cell_size(mm(5.0));
+        let chip = ChipSpec::cmos("U1", Point::new(mm(30.0), mm(20.0)), 1)
+            .with_line(SignalLineSpec::z50(0.05));
+        let board =
+            BoardSpec::new(plane, 3.3, Point::new(mm(2.0), mm(2.0))).with_chip(chip);
+        let sys = board
+            .build(&NodeSelection::PortsAndGrid { stride: 3 }, 1)
+            .unwrap();
+        assert_eq!(sys.partition().signal_nets, 1);
+        let out = sys.run(20e-9, 0.05e-9).unwrap();
+        assert!(out.time.len() > 100);
+    }
+}
+
+#[cfg(test)]
+mod partitioned_cosim_tests {
+    use super::*;
+    use pdn_circuit::TransientSpec;
+    use pdn_geom::units::mm;
+
+    #[test]
+    fn partitioned_board_run_matches_monolithic() {
+        let plane = PlaneSpec::rectangle(mm(40.0), mm(30.0), 0.5e-3, 4.5)
+            .unwrap()
+            .with_sheet_resistance(1e-3)
+            .with_cell_size(mm(5.0));
+        let board = BoardSpec::new(plane, 3.3, Point::new(mm(2.0), mm(2.0))).with_chip(
+            ChipSpec::cmos("U1", Point::new(mm(30.0), mm(20.0)), 4),
+        );
+        let sys = board
+            .build(&NodeSelection::PortsAndGrid { stride: 3 }, 4)
+            .unwrap();
+        // run() uses the partitioned solver; compare against an explicit
+        // monolithic run of the same netlist.
+        let dt = 0.05e-9;
+        let fast = sys.run(15e-9, dt).unwrap();
+        let slow_spec = TransientSpec::new(15e-9, dt).with_settle(1e-3);
+        let slow = sys.circuit().transient(&slow_spec).unwrap();
+        // Compare the worst-chip rail waveform.
+        let rail = sys.chip_rails[0];
+        let mut max_diff = 0.0f64;
+        for (a, b) in fast
+            .rail_noise
+            .iter()
+            .zip(slow.voltage(rail).iter().map(|&v| v - 3.3))
+        {
+            max_diff = max_diff.max((a - b).abs());
+        }
+        assert!(
+            max_diff < 0.05,
+            "partitioned co-simulation tracks monolithic: {max_diff}"
+        );
+    }
+}

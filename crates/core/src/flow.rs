@@ -1,0 +1,327 @@
+//! The extraction flow: plane description → mesh → BEM → macromodel.
+
+use pdn_bem::{AssembleBemError, BemOptions, BemSystem};
+use pdn_extract::{EquivalentCircuit, ExtractCircuitError, NodeSelection};
+use pdn_geom::mesh::MeshPlaneError;
+use pdn_geom::stackup::InvalidPlanePairError;
+use pdn_geom::{PlaneMesh, PlanePair, Point, Polygon};
+use pdn_greens::SurfaceImpedance;
+use std::error::Error;
+use std::fmt;
+
+/// Error from the end-to-end extraction flow.
+#[derive(Debug)]
+pub enum ExtractPlaneError {
+    /// Invalid plane-pair parameters.
+    Stackup(InvalidPlanePairError),
+    /// Meshing failed (bad cell size, port off the conductor…).
+    Mesh(MeshPlaneError),
+    /// BEM assembly failed.
+    Assembly(AssembleBemError),
+    /// Macromodel extraction failed.
+    Extraction(ExtractCircuitError),
+    /// An operation requiring a single net was given split planes.
+    MultiNet,
+}
+
+impl fmt::Display for ExtractPlaneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractPlaneError::Stackup(e) => write!(f, "stackup: {e}"),
+            ExtractPlaneError::Mesh(e) => write!(f, "mesh: {e}"),
+            ExtractPlaneError::Assembly(e) => write!(f, "assembly: {e}"),
+            ExtractPlaneError::Extraction(e) => write!(f, "extraction: {e}"),
+            ExtractPlaneError::MultiNet => {
+                write!(f, "operation requires a single-net plane, got split planes")
+            }
+        }
+    }
+}
+
+impl Error for ExtractPlaneError {}
+
+impl From<InvalidPlanePairError> for ExtractPlaneError {
+    fn from(e: InvalidPlanePairError) -> Self {
+        ExtractPlaneError::Stackup(e)
+    }
+}
+impl From<MeshPlaneError> for ExtractPlaneError {
+    fn from(e: MeshPlaneError) -> Self {
+        ExtractPlaneError::Mesh(e)
+    }
+}
+impl From<AssembleBemError> for ExtractPlaneError {
+    fn from(e: AssembleBemError) -> Self {
+        ExtractPlaneError::Assembly(e)
+    }
+}
+impl From<ExtractCircuitError> for ExtractPlaneError {
+    fn from(e: ExtractCircuitError) -> Self {
+        ExtractPlaneError::Extraction(e)
+    }
+}
+
+/// A power/ground plane structure ready for extraction.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_core::PlaneSpec;
+/// use pdn_geom::units::mm;
+///
+/// # fn main() -> Result<(), pdn_core::ExtractPlaneError> {
+/// let spec = PlaneSpec::rectangle(mm(30.0), mm(20.0), 0.3e-3, 4.2)?
+///     .with_port("VCC1", mm(5.0), mm(5.0));
+/// assert_eq!(spec.port_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlaneSpec {
+    shapes: Vec<Polygon>,
+    pair: PlanePair,
+    /// Per-plane sheet resistance (Ω/sq); the loop sees twice this value.
+    sheet_resistance: f64,
+    cell_size: f64,
+    ports: Vec<(String, Point)>,
+    options: BemOptions,
+}
+
+impl PlaneSpec {
+    /// A rectangular plane of the given size over a ground plane
+    /// `separation` meters below, dielectric `eps_r`.
+    ///
+    /// The default mesh density is 20 cells across the longer edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid pair parameters.
+    pub fn rectangle(
+        width: f64,
+        height: f64,
+        separation: f64,
+        eps_r: f64,
+    ) -> Result<Self, ExtractPlaneError> {
+        Self::from_shape(Polygon::rectangle(width, height), separation, eps_r)
+    }
+
+    /// A plane of arbitrary shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid pair parameters.
+    pub fn from_shape(
+        shape: Polygon,
+        separation: f64,
+        eps_r: f64,
+    ) -> Result<Self, ExtractPlaneError> {
+        Self::from_shapes(vec![shape], separation, eps_r)
+    }
+
+    /// Split planes: several galvanically separate islands over a common
+    /// ground (the paper's Figure 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid pair parameters.
+    pub fn from_shapes(
+        shapes: Vec<Polygon>,
+        separation: f64,
+        eps_r: f64,
+    ) -> Result<Self, ExtractPlaneError> {
+        let pair = PlanePair::new(separation, eps_r)?;
+        let (min, max) = shapes
+            .iter()
+            .map(Polygon::bounding_box)
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, (lo, hi)| {
+                (acc.0.min(lo.x).min(lo.y), acc.1.max(hi.x).max(hi.y))
+            });
+        let extent = (max - min).max(1e-6);
+        Ok(PlaneSpec {
+            shapes,
+            pair,
+            sheet_resistance: 0.0,
+            cell_size: extent / 20.0,
+            ports: Vec::new(),
+            options: BemOptions::default(),
+        })
+    }
+
+    /// Sets the per-plane sheet resistance, Ω/square (builder style).
+    pub fn with_sheet_resistance(mut self, r_sq: f64) -> Self {
+        self.sheet_resistance = r_sq.max(0.0);
+        self
+    }
+
+    /// Sets the mesh cell size (builder style).
+    pub fn with_cell_size(mut self, cell: f64) -> Self {
+        self.cell_size = cell;
+        self
+    }
+
+    /// Adds a named port at `(x, y)` (builder style).
+    pub fn with_port(mut self, name: impl Into<String>, x: f64, y: f64) -> Self {
+        self.ports.push((name.into(), Point::new(x, y)));
+        self
+    }
+
+    /// Uses the microstrip (air-above) substrate kernel, for patch
+    /// structures rather than buried plane pairs (builder style).
+    pub fn with_microstrip_kernel(mut self) -> Self {
+        self.options = self.options.with_microstrip();
+        self
+    }
+
+    /// Uses Galerkin testing of the given order (builder style).
+    pub fn with_galerkin(mut self, order: usize) -> Self {
+        self.options = self.options.with_galerkin(order);
+        self
+    }
+
+    /// Number of ports defined so far.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// The plane pair.
+    pub fn pair(&self) -> &PlanePair {
+        &self.pair
+    }
+
+    /// The mesh cell size.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Port names and locations.
+    pub fn ports(&self) -> &[(String, Point)] {
+        &self.ports
+    }
+
+    /// Per-plane sheet resistance, Ω/square.
+    pub fn sheet_resistance(&self) -> f64 {
+        self.sheet_resistance
+    }
+
+    /// The conductor shapes.
+    pub fn shapes(&self) -> &[Polygon] {
+        &self.shapes
+    }
+
+    /// The single conductor shape, for flows (like the FDTD reference)
+    /// that operate on one net.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec describes split planes.
+    pub fn single_shape(&self) -> Result<&Polygon, ExtractPlaneError> {
+        if self.shapes.len() == 1 {
+            Ok(&self.shapes[0])
+        } else {
+            Err(ExtractPlaneError::MultiNet)
+        }
+    }
+
+    /// Builds the mesh, runs the BEM, and extracts the macromodel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractPlaneError`] describing which stage failed.
+    pub fn extract(&self, selection: &NodeSelection) -> Result<ExtractedPlane, ExtractPlaneError> {
+        let mut mesh = PlaneMesh::build_multi(&self.shapes, self.cell_size)?;
+        for (name, p) in &self.ports {
+            mesh.bind_port(name.clone(), *p)?;
+        }
+        // The loop current flows out on one plane and back on the other:
+        // both sheet resistances appear in series.
+        let zs = SurfaceImpedance::from_sheet_resistance(2.0 * self.sheet_resistance);
+        let bem = BemSystem::assemble(mesh, &self.pair, &zs, &self.options)?;
+        let equivalent = EquivalentCircuit::from_bem(&bem, selection)?;
+        Ok(ExtractedPlane { bem, equivalent })
+    }
+}
+
+/// The result of the extraction flow: the BEM system (reference solution)
+/// and the macromodel derived from it.
+#[derive(Debug, Clone)]
+pub struct ExtractedPlane {
+    bem: BemSystem,
+    equivalent: EquivalentCircuit,
+}
+
+impl ExtractedPlane {
+    /// The assembled BEM system (direct frequency-domain reference).
+    pub fn bem(&self) -> &BemSystem {
+        &self.bem
+    }
+
+    /// The extracted R–L‖C macromodel.
+    pub fn equivalent(&self) -> &EquivalentCircuit {
+        &self.equivalent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_geom::units::mm;
+
+    #[test]
+    fn end_to_end_extraction() {
+        let spec = PlaneSpec::rectangle(mm(20.0), mm(15.0), 0.5e-3, 4.5)
+            .unwrap()
+            .with_sheet_resistance(3e-3)
+            .with_cell_size(mm(2.5))
+            .with_port("A", mm(2.0), mm(2.0))
+            .with_port("B", mm(18.0), mm(13.0));
+        let ex = spec.extract(&NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
+        assert_eq!(ex.equivalent().port_count(), 2);
+        assert!(ex.equivalent().has_loss());
+        // Sanity: macromodel tracks the direct solve at a benign frequency.
+        let z_bem = ex.bem().port_impedance(200e6).unwrap();
+        let z_eq = ex.equivalent().impedance(200e6).unwrap();
+        let rel = (z_bem[(0, 1)] - z_eq[(0, 1)]).norm() / z_bem[(0, 1)].norm();
+        assert!(rel < 0.05, "rel = {rel}");
+    }
+
+    #[test]
+    fn split_planes_extract_with_port_per_net() {
+        let left = Polygon::rectangle(mm(10.0), mm(10.0));
+        let right = Polygon::rectangle_at(mm(11.0), 0.0, mm(10.0), mm(10.0));
+        let spec = PlaneSpec::from_shapes(vec![left, right], 0.5e-3, 4.5)
+            .unwrap()
+            .with_cell_size(mm(2.0))
+            .with_port("V33", mm(2.0), mm(5.0))
+            .with_port("V50", mm(19.0), mm(5.0));
+        let ex = spec.extract(&NodeSelection::PortsOnly).unwrap();
+        // The two islands have no galvanic path: the cross-net branch must
+        // carry zero DC conductance. Magnetic (mutual-inductance) and
+        // capacitive coupling remain — that is exactly the split-plane
+        // noise-coupling mechanism the paper analyzes.
+        let branches = ex.equivalent().branches();
+        let cross = branches.iter().find(|b| (b.m, b.n) == (0, 1)).unwrap();
+        assert_eq!(cross.conductance, 0.0, "no DC path between nets");
+        let intra = ex.equivalent().reluctance()[(0, 0)].abs();
+        assert!(
+            cross.inverse_inductance.abs() < 0.5 * intra,
+            "cross-net magnetic coupling is weaker than intra-net"
+        );
+    }
+
+    #[test]
+    fn port_off_plane_fails_cleanly() {
+        let spec = PlaneSpec::rectangle(mm(10.0), mm(10.0), 0.5e-3, 4.5)
+            .unwrap()
+            .with_port("X", mm(50.0), mm(50.0));
+        match spec.extract(&NodeSelection::PortsOnly) {
+            Err(ExtractPlaneError::Mesh(MeshPlaneError::PortOutsideShape { .. })) => {}
+            other => panic!("expected mesh error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ExtractPlaneError::Mesh(MeshPlaneError::EmptyMesh);
+        assert!(e.to_string().contains("mesh"));
+    }
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+//! End-to-end power/ground-network modeling and signal-integrity
+//! co-simulation — the paper's complete flow.
+//!
+//! `pdn-core` ties the substrate crates together:
+//!
+//! 1. **Describe** the structure: a [`PlaneSpec`] (shape, stackup, loss,
+//!    ports) or a full [`BoardSpec`] (plane + chips + drivers + decoupling
+//!    capacitors).
+//! 2. **Extract**: mesh → boundary-element MPIE solve → quasi-static
+//!    R–L‖C equivalent circuit ([`ExtractedPlane`]).
+//! 3. **Co-simulate** the four subsystems of the paper's Figure 3 — chip
+//!    devices, chip packages, signal nets, and the power/ground macromodel
+//!    — in one time-domain run ([`cosim::BoardSystem`]).
+//! 4. **Verify** against the independent references: direct BEM
+//!    frequency sweeps, the 2-D FDTD solver, and analytic cavity modes
+//!    ([`verify`]).
+//!
+//! The [`boards`] module reconstructs every structure in the paper's
+//! evaluation section (split MCM planes, the L-shaped patch, the coupled
+//! microstrip pair, the HP 5-port test plane, and the two SSN design
+//! studies).
+//!
+//! # Examples
+//!
+//! Extract a 4-node macromodel of a small power plane (paper Fig. 2):
+//!
+//! ```
+//! use pdn_core::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = PlaneSpec::rectangle(mm(20.0), mm(20.0), 0.5e-3, 4.5)?
+//!     .with_sheet_resistance(1e-3)
+//!     .with_cell_size(mm(2.5))
+//!     .with_port("P1", mm(2.0), mm(2.0))
+//!     .with_port("P2", mm(18.0), mm(18.0));
+//! let extracted = spec.extract(&NodeSelection::PortsOnly)?;
+//! assert_eq!(extracted.equivalent().node_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod boards;
+pub mod cosim;
+pub mod flow;
+pub mod optimize;
+pub mod verify;
+
+pub use cosim::{BoardSpec, BoardSystem, ChipSpec, DecapSpec, SsnOutcome};
+pub use flow::{ExtractedPlane, ExtractPlaneError, PlaneSpec};
+pub use optimize::{optimize_decaps, DecapPlan, OptimizeSettings};
+
+/// Convenience re-exports for downstream users and examples.
+pub mod prelude {
+    pub use crate::boards;
+    pub use crate::cosim::{BoardSpec, BoardSystem, ChipSpec, DecapSpec, SsnOutcome};
+    pub use crate::flow::{ExtractedPlane, ExtractPlaneError, PlaneSpec};
+    pub use crate::optimize::{optimize_decaps, DecapPlan, OptimizeSettings};
+    pub use crate::verify;
+    pub use pdn_bem::{BemOptions, BemSystem, Testing};
+    pub use pdn_circuit::{
+        s_from_z, AcSweep, Circuit, CoupledLineModel, Integration, TransientSpec, Waveform,
+    };
+    pub use pdn_extract::{EquivalentCircuit, NodeSelection};
+    pub use pdn_fdtd::PlaneFdtd;
+    pub use pdn_geom::units::{ghz, inch, mhz, mil, mm, nf, nh, ns, pf, ps, uf, um};
+    pub use pdn_geom::{PlaneMesh, PlanePair, Point, Polygon, Stackup};
+    pub use pdn_greens::{LayeredKernel, SurfaceImpedance};
+    pub use pdn_num::{c64, Matrix};
+    pub use pdn_tline::{simulate_coupled_pair, MicrostripArray};
+}

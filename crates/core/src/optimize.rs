@@ -1,0 +1,236 @@
+//! Decoupling-capacitor strategy optimization.
+//!
+//! The paper names this as the major application of the whole flow:
+//! decaps are used "in a way of *play it safe and put as much as you
+//! could*", and the tool exists "to simulate the effect of de-caps and
+//! thus optimize the decoupling strategy which includes the placement,
+//! number, and value of decaps necessary for noise reduction against
+//! design margin."
+//!
+//! [`optimize_decaps`] is that loop: a greedy search over candidate
+//! mounting sites that adds, one at a time, the capacitor producing the
+//! largest plane-noise reduction, stopping when the design margin is met
+//! or no candidate helps anymore.
+
+use crate::cosim::{BoardSpec, BuildBoardError, DecapSpec};
+use pdn_extract::NodeSelection;
+use std::error::Error;
+use std::fmt;
+
+/// One step of the greedy optimization history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecapStep {
+    /// Index into the candidate list that was chosen.
+    pub candidate: usize,
+    /// Plane noise after placing it (V).
+    pub noise_after: f64,
+}
+
+/// The optimizer's result.
+#[derive(Debug, Clone)]
+pub struct DecapPlan {
+    /// Chosen capacitors, in placement order.
+    pub chosen: Vec<DecapSpec>,
+    /// Plane noise before any decap (V).
+    pub baseline_noise: f64,
+    /// Greedy history, one entry per placed capacitor.
+    pub history: Vec<DecapStep>,
+    /// Whether the target margin was reached.
+    pub target_met: bool,
+}
+
+impl DecapPlan {
+    /// Final plane noise (V).
+    pub fn final_noise(&self) -> f64 {
+        self.history
+            .last()
+            .map_or(self.baseline_noise, |s| s.noise_after)
+    }
+}
+
+/// Error from the optimization loop.
+#[derive(Debug)]
+pub enum OptimizeDecapsError {
+    /// A co-simulation run failed.
+    Simulation(Box<dyn Error>),
+    /// No candidate sites were provided.
+    NoCandidates,
+}
+
+impl fmt::Display for OptimizeDecapsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeDecapsError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            OptimizeDecapsError::NoCandidates => write!(f, "no candidate decap sites"),
+        }
+    }
+}
+
+impl Error for OptimizeDecapsError {}
+
+impl From<BuildBoardError> for OptimizeDecapsError {
+    fn from(e: BuildBoardError) -> Self {
+        OptimizeDecapsError::Simulation(Box::new(e))
+    }
+}
+
+/// Evaluation settings for each trial co-simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeSettings {
+    /// Retained-node policy for the plane extraction.
+    pub selection: NodeSelection,
+    /// Drivers switching per chip during the trial.
+    pub switching: usize,
+    /// Trial duration (s).
+    pub t_stop: f64,
+    /// Trial time step (s).
+    pub dt: f64,
+    /// Stop when plane noise falls to this level (V).
+    pub target_noise: f64,
+    /// Upper bound on placed capacitors.
+    pub max_decaps: usize,
+}
+
+/// Greedy decap placement: repeatedly add the candidate that lowers the
+/// board-level plane noise the most.
+///
+/// Candidates already used are not reconsidered; the loop stops when the
+/// target is met, the budget is exhausted, or no remaining candidate
+/// improves the noise.
+///
+/// # Errors
+///
+/// Returns [`OptimizeDecapsError`] when there are no candidates or a
+/// trial simulation fails.
+pub fn optimize_decaps(
+    board: &BoardSpec,
+    candidates: &[DecapSpec],
+    settings: &OptimizeSettings,
+) -> Result<DecapPlan, OptimizeDecapsError> {
+    if candidates.is_empty() {
+        return Err(OptimizeDecapsError::NoCandidates);
+    }
+    let evaluate = |chosen: &[DecapSpec]| -> Result<f64, OptimizeDecapsError> {
+        let mut b = board.clone();
+        for d in chosen {
+            b = b.with_decap(*d);
+        }
+        let out = b
+            .build(&settings.selection, settings.switching)?
+            .run(settings.t_stop, settings.dt)
+            .map_err(|e| OptimizeDecapsError::Simulation(Box::new(e)))?;
+        Ok(out.plane_noise_peak)
+    };
+
+    let baseline_noise = evaluate(&[])?;
+    let mut chosen: Vec<DecapSpec> = Vec::new();
+    let mut used = vec![false; candidates.len()];
+    let mut history = Vec::new();
+    let mut current = baseline_noise;
+    while current > settings.target_noise && chosen.len() < settings.max_decaps {
+        // Try every unused candidate; keep the best.
+        let mut best: Option<(usize, f64)> = None;
+        for (k, cand) in candidates.iter().enumerate() {
+            if used[k] {
+                continue;
+            }
+            let mut trial = chosen.clone();
+            trial.push(*cand);
+            let noise = evaluate(&trial)?;
+            if best.map_or(true, |(_, n)| noise < n) {
+                best = Some((k, noise));
+            }
+        }
+        match best {
+            Some((k, noise)) if noise < current => {
+                used[k] = true;
+                chosen.push(candidates[k]);
+                history.push(DecapStep {
+                    candidate: k,
+                    noise_after: noise,
+                });
+                current = noise;
+            }
+            _ => break, // nothing helps anymore
+        }
+    }
+    Ok(DecapPlan {
+        chosen,
+        baseline_noise,
+        history,
+        target_met: current <= settings.target_noise,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosim::ChipSpec;
+    use crate::flow::PlaneSpec;
+    use pdn_geom::units::mm;
+    use pdn_geom::Point;
+
+    fn test_board() -> BoardSpec {
+        let plane = PlaneSpec::rectangle(mm(40.0), mm(30.0), 0.5e-3, 4.5)
+            .unwrap()
+            .with_sheet_resistance(1e-3)
+            .with_cell_size(mm(5.0));
+        BoardSpec::new(plane, 3.3, Point::new(mm(2.0), mm(2.0))).with_chip(ChipSpec::cmos(
+            "U1",
+            Point::new(mm(30.0), mm(20.0)),
+            4,
+        ))
+    }
+
+    fn settings(target: f64) -> OptimizeSettings {
+        OptimizeSettings {
+            selection: NodeSelection::PortsAndGrid { stride: 3 },
+            switching: 4,
+            t_stop: 15e-9,
+            dt: 0.1e-9,
+            target_noise: target,
+            max_decaps: 2,
+        }
+    }
+
+    fn candidates() -> Vec<DecapSpec> {
+        vec![
+            // Near the chip (useful) and at a far corner (less useful).
+            DecapSpec::ceramic_100nf(Point::new(mm(27.0), mm(20.0))),
+            DecapSpec::ceramic_100nf(Point::new(mm(5.0), mm(25.0))),
+        ]
+    }
+
+    #[test]
+    fn optimizer_reduces_noise_and_prefers_the_better_site() {
+        let plan = optimize_decaps(&test_board(), &candidates(), &settings(0.0)).unwrap();
+        assert!(!plan.chosen.is_empty(), "something was placed");
+        assert!(
+            plan.final_noise() < plan.baseline_noise,
+            "noise reduced: {} -> {}",
+            plan.baseline_noise,
+            plan.final_noise()
+        );
+        // The first placement is the near-chip site.
+        assert_eq!(plan.history[0].candidate, 0, "near-chip decap wins first");
+        // History is monotone decreasing.
+        let mut prev = plan.baseline_noise;
+        for step in &plan.history {
+            assert!(step.noise_after < prev);
+            prev = step.noise_after;
+        }
+    }
+
+    #[test]
+    fn generous_target_needs_no_decaps() {
+        let plan = optimize_decaps(&test_board(), &candidates(), &settings(100.0)).unwrap();
+        assert!(plan.target_met);
+        assert!(plan.chosen.is_empty());
+    }
+
+    #[test]
+    fn empty_candidate_list_rejected() {
+        let err = optimize_decaps(&test_board(), &[], &settings(0.1)).unwrap_err();
+        assert!(matches!(err, OptimizeDecapsError::NoCandidates));
+    }
+}

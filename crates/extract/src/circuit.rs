@@ -1,0 +1,851 @@
+//! The distributed R–L‖C equivalent circuit (paper Figure 2, eqs. 20–27).
+
+use crate::reduce::kron_reduce;
+use crate::resonance::find_impedance_peaks;
+use pdn_bem::BemSystem;
+use pdn_circuit::{Circuit, NodeId};
+use pdn_num::{c64, CholeskyDecomposition, LuDecomposition, Matrix};
+use std::error::Error;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// Which BEM cells become circuit nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSelection {
+    /// Retain every mesh cell (no reduction; exact but large).
+    All,
+    /// Retain only the cells carrying bound ports.
+    PortsOnly,
+    /// Retain the port cells plus every `stride`-th grid cell in both
+    /// directions — the paper's N-node macromodels (e.g. 42 nodes for the
+    /// 5-port HP test plane).
+    PortsAndGrid {
+        /// Grid decimation factor (≥ 1).
+        stride: usize,
+    },
+}
+
+/// How the macromodel is realized as a netlist of two-terminal elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Realization {
+    /// Guaranteed-passive realization: negative inverse-inductance
+    /// branches (Kron-reduction residues, each individually active as a
+    /// two-terminal element) are dropped. Dropping them *adds* a
+    /// positive-semidefinite term to the reluctance matrix, so every
+    /// remaining branch is individually passive and transient runs are
+    /// unconditionally stable. The lossless response shifts by the
+    /// (small) weight of the dropped branches.
+    #[default]
+    Passive,
+    /// Exact lossless part: negative branches are kept as pure
+    /// inductances. The aggregate reluctance is exact, but embedding the
+    /// resulting netlist in a larger system can expose right-half-plane
+    /// poles because the series branch resistances break the
+    /// positive-real decomposition. Use for small verification runs only.
+    Exact,
+}
+
+/// One branch of the equivalent circuit between retained nodes `m < n`:
+/// an inductance (as inverse inductance) in series with a resistance (as
+/// conductance), in parallel with a capacitance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Branch {
+    /// First node index.
+    pub m: usize,
+    /// Second node index.
+    pub n: usize,
+    /// Branch inverse inductance `−B_mn` (1/H); zero means no inductive
+    /// path, negative values can appear in reduced macromodels.
+    pub inverse_inductance: f64,
+    /// Branch series conductance `−G_mn` (S); zero means lossless.
+    pub conductance: f64,
+    /// Branch capacitance `−C_mn` (F).
+    pub capacitance: f64,
+}
+
+impl Branch {
+    /// Branch inductance in henries, if an inductive path exists.
+    pub fn inductance(&self) -> Option<f64> {
+        (self.inverse_inductance != 0.0).then(|| 1.0 / self.inverse_inductance)
+    }
+
+    /// Branch series resistance in ohms, if lossy.
+    pub fn resistance(&self) -> Option<f64> {
+        (self.conductance > 0.0).then(|| 1.0 / self.conductance)
+    }
+}
+
+/// Error from equivalent-circuit extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractCircuitError {
+    /// The mesh has no bound ports (nothing to extract for).
+    NoPorts,
+    /// A reduction or solve failed (e.g. a net with no retained node).
+    NumericalBreakdown(String),
+}
+
+impl fmt::Display for ExtractCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractCircuitError::NoPorts => write!(f, "mesh has no bound ports"),
+            ExtractCircuitError::NumericalBreakdown(s) => {
+                write!(f, "equivalent-circuit extraction failed: {s}")
+            }
+        }
+    }
+}
+
+impl Error for ExtractCircuitError {}
+
+/// The extracted frequency-independent R–L‖C macromodel.
+///
+/// Stores the reduced reluctance `B`, DC conductance `G`, and capacitance
+/// `C` matrices; branches and admittances are derived views.
+#[derive(Debug, Clone)]
+pub struct EquivalentCircuit {
+    names: Vec<String>,
+    /// Retained-node index of each mesh port, in port order.
+    ports: Vec<usize>,
+    b: Matrix<f64>,
+    g: Matrix<f64>,
+    c: Matrix<f64>,
+    /// Dielectric loss tangent applied to every capacitive element in the
+    /// frequency domain (`Y_C = jωC·(1 − j·tanδ)`).
+    tan_d: f64,
+}
+
+impl EquivalentCircuit {
+    /// Extracts the macromodel from an assembled BEM system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractCircuitError::NoPorts`] when the mesh has no bound
+    /// ports, and [`ExtractCircuitError::NumericalBreakdown`] when the
+    /// reduction fails (e.g. a split-plane net without any retained node).
+    pub fn from_bem(
+        sys: &BemSystem,
+        selection: &NodeSelection,
+    ) -> Result<Self, ExtractCircuitError> {
+        let mesh = sys.mesh();
+        let port_cells = mesh.port_cells();
+        if port_cells.is_empty() {
+            return Err(ExtractCircuitError::NoPorts);
+        }
+        let n = mesh.cell_count();
+
+        // Retained cell set.
+        let mut keep: Vec<usize> = match selection {
+            NodeSelection::All => (0..n).collect(),
+            NodeSelection::PortsOnly => port_cells.clone(),
+            NodeSelection::PortsAndGrid { stride } => {
+                let s = (*stride).max(1);
+                let mut v: Vec<usize> = (0..n)
+                    .filter(|&i| {
+                        let (ix, iy) = mesh.cell_grid_coords(i);
+                        ix % s == 0 && iy % s == 0
+                    })
+                    .collect();
+                v.extend_from_slice(&port_cells);
+                v
+            }
+        };
+        keep.sort_unstable();
+        keep.dedup();
+
+        // Full-grid B = AᵀL⁻¹A via Cholesky of L (SPD).
+        let ch = CholeskyDecomposition::new(sys.inductance())
+            .map_err(|e| ExtractCircuitError::NumericalBreakdown(format!("L not SPD: {e}")))?;
+        let links = mesh.links();
+        let m = links.len();
+        // Columns of A are sparse: column i has +1 at links leaving cell i
+        // and −1 at links entering. Solve L·X = A column-block-wise.
+        let mut a_mat = Matrix::zeros(m, n);
+        for (l, link) in links.iter().enumerate() {
+            a_mat[(l, link.a)] = 1.0;
+            a_mat[(l, link.b)] = -1.0;
+        }
+        let mut x = Matrix::zeros(m, n);
+        for j in 0..n {
+            let col = ch
+                .solve(&a_mat.col(j))
+                .map_err(|e| ExtractCircuitError::NumericalBreakdown(e.to_string()))?;
+            for i in 0..m {
+                x[(i, j)] = col[i];
+            }
+        }
+        let b_full = a_mat.transpose().matmul(&x);
+
+        // DC conductance Laplacian from link resistances.
+        let mut g_full = Matrix::zeros(n, n);
+        for (l, link) in links.iter().enumerate() {
+            let r = sys.link_resistances()[l];
+            if r > 0.0 {
+                let g = 1.0 / r;
+                g_full[(link.a, link.a)] += g;
+                g_full[(link.b, link.b)] += g;
+                g_full[(link.a, link.b)] -= g;
+                g_full[(link.b, link.a)] -= g;
+            }
+        }
+
+        let reduce = |mat: &Matrix<f64>, what: &str| {
+            kron_reduce(mat, &keep).map_err(|e| {
+                ExtractCircuitError::NumericalBreakdown(format!(
+                    "Kron reduction of {what} failed: {e} \
+                     (does every net keep at least one node?)"
+                ))
+            })
+        };
+        // B and G: Kron reduction (internal nodes carry no external
+        // injection in the inductive/resistive sub-network).
+        let b = reduce(&b_full, "B")?;
+        // A lossless system has an identically zero G; skip the reduction.
+        let g = if g_full.max_abs() == 0.0 {
+            Matrix::zeros(keep.len(), keep.len())
+        } else {
+            reduce(&g_full, "G")?
+        };
+        // C: cluster aggregation, NOT Kron. Eliminated cells are still
+        // plane metal, locally equipotential with the nearest retained cell
+        // through the tiny link inductance, so their charge must aggregate
+        // onto that node. (Kron on C would leave them floating and lose
+        // most of the plate capacitance.) Clusters never cross nets.
+        let cluster: Vec<usize> = (0..n)
+            .map(|i| {
+                let ci = mesh.cell_center(i);
+                let net = mesh.cell_net(i);
+                keep.iter()
+                    .enumerate()
+                    .filter(|&(_, &kcell)| mesh.cell_net(kcell) == net)
+                    .min_by(|a, b| {
+                        let da = mesh.cell_center(*a.1).distance_sq(ci);
+                        let db = mesh.cell_center(*b.1).distance_sq(ci);
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .map(|(pos, _)| pos)
+                    .unwrap_or(usize::MAX)
+            })
+            .collect();
+        if cluster.iter().any(|&c| c == usize::MAX) {
+            return Err(ExtractCircuitError::NumericalBreakdown(
+                "a net has no retained node for capacitance aggregation".into(),
+            ));
+        }
+        let c_full = sys.capacitance();
+        let mut c = Matrix::zeros(keep.len(), keep.len());
+        for i in 0..n {
+            for j in 0..n {
+                c[(cluster[i], cluster[j])] += c_full[(i, j)];
+            }
+        }
+
+        // Node names and port mapping.
+        let mut names = Vec::with_capacity(keep.len());
+        let pos_of = |cell: usize| keep.binary_search(&cell).expect("kept cell");
+        for &cell in &keep {
+            if let Some(p) = mesh.ports().iter().find(|p| p.cell == cell) {
+                names.push(p.name.clone());
+            } else {
+                names.push(format!("n{cell}"));
+            }
+        }
+        let ports = port_cells.iter().map(|&c| pos_of(c)).collect();
+        Ok(EquivalentCircuit {
+            names,
+            ports,
+            b,
+            g,
+            c,
+            tan_d: sys.pair().loss_tangent,
+        })
+    }
+
+    /// Number of retained circuit nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Retained-node index of mesh port `p` (in binding order).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range port index.
+    pub fn port_node(&self, p: usize) -> usize {
+        self.ports[p]
+    }
+
+    /// Node names (port names where applicable).
+    pub fn node_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Reduced reluctance (inverse-inductance) matrix `B` (1/H).
+    pub fn reluctance(&self) -> &Matrix<f64> {
+        &self.b
+    }
+
+    /// Reduced capacitance matrix `C` (F).
+    pub fn capacitance(&self) -> &Matrix<f64> {
+        &self.c
+    }
+
+    /// Reduced DC conductance matrix `G` (S).
+    pub fn conductance(&self) -> &Matrix<f64> {
+        &self.g
+    }
+
+    /// Dielectric loss tangent used in frequency-domain evaluations
+    /// (taken from the plane pair at extraction; override with
+    /// [`with_dielectric_loss`](Self::with_dielectric_loss)).
+    pub fn dielectric_loss_tangent(&self) -> f64 {
+        self.tan_d
+    }
+
+    /// Overrides the dielectric loss tangent (builder style). Affects
+    /// [`admittance`](Self::admittance)/[`impedance`](Self::impedance)
+    /// only; time-domain netlists stay lossless dielectrically (a
+    /// constant-R realization of tanδ does not exist).
+    pub fn with_dielectric_loss(mut self, tan_d: f64) -> Self {
+        self.tan_d = tan_d.max(0.0);
+        self
+    }
+
+    /// Shunt capacitance of node `m` to the reference (eq. 27 row sum).
+    pub fn shunt_capacitance(&self, m: usize) -> f64 {
+        (0..self.node_count()).map(|n| self.c[(m, n)]).sum()
+    }
+
+    /// All circuit branches between node pairs (paper eqs. 22–25).
+    pub fn branches(&self) -> Vec<Branch> {
+        let n = self.node_count();
+        let tol_b = 1e-12 * self.b.max_abs();
+        let tol_c = 1e-12 * self.c.max_abs();
+        let tol_g = 1e-12 * self.g.max_abs();
+        let mut out = Vec::new();
+        for m in 0..n {
+            for nn in (m + 1)..n {
+                let binv = -self.b[(m, nn)];
+                let g = -self.g[(m, nn)];
+                let c = -self.c[(m, nn)];
+                if binv.abs() > tol_b || c.abs() > tol_c || g.abs() > tol_g {
+                    out.push(Branch {
+                        m,
+                        n: nn,
+                        inverse_inductance: binv,
+                        conductance: g,
+                        capacitance: c,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Nodal admittance of the branch circuit at frequency `f` (Hz).
+    ///
+    /// Lossless extraction reproduces `Y = B/(jω) + jωC` exactly; with
+    /// loss, each inductive branch gets its DC resistance in series —
+    /// the paper's first-order loss model.
+    pub fn admittance(&self, f: f64) -> Matrix<c64> {
+        let omega = 2.0 * PI * f;
+        let n = self.node_count();
+        let mut y = Matrix::<c64>::zeros(n, n);
+        let stamp = |m: usize, nn: usize, yb: c64, y: &mut Matrix<c64>| {
+            y[(m, m)] += yb;
+            y[(nn, nn)] += yb;
+            y[(m, nn)] -= yb;
+            y[(nn, m)] -= yb;
+        };
+        // Lossy dielectric: Y_C = jωC(1 − j·tanδ) = ω·tanδ·C + jωC.
+        let cap_y = |c: f64| c64::new(omega * self.tan_d * c, omega * c);
+        for br in self.branches() {
+            let mut yb = cap_y(br.capacitance);
+            if br.inverse_inductance > 0.0 {
+                // Series R + jωL with L = 1/binv.
+                let r = if br.conductance > 0.0 {
+                    1.0 / br.conductance
+                } else {
+                    0.0
+                };
+                let z = c64::new(r, omega / br.inverse_inductance);
+                yb += z.recip();
+            } else if br.inverse_inductance < 0.0 {
+                // Negative mutual-coupling residue from the Kron reduction:
+                // realized as a pure (negative) inductance. Pairing it with
+                // a series resistance would create an ACTIVE branch
+                // (R + sL with L < 0 has a right-half-plane zero) and blow
+                // up time-domain runs; lossless it stays part of the
+                // passive aggregate reluctance network.
+                // y = binv/(jω) = −j·binv/ω.
+                yb += c64::from_im(-br.inverse_inductance / omega);
+            } else if br.conductance != 0.0 {
+                yb += c64::from_re(br.conductance);
+            }
+            stamp(br.m, br.n, yb, &mut y);
+        }
+        // Shunt terms (row sums): capacitance to the reference plane plus
+        // any residual B/G row sums (≈ 0 for a pure branch network).
+        // y_shunt = g_sh + jω·c_sh + b_sh/(jω) = g_sh + j(ω·c_sh − b_sh/ω).
+        for m in 0..n {
+            let c_sh = self.shunt_capacitance(m);
+            let b_sh: f64 = (0..n).map(|k| self.b[(m, k)]).sum();
+            let g_sh: f64 = (0..n).map(|k| self.g[(m, k)]).sum();
+            y[(m, m)] += cap_y(c_sh) + c64::new(g_sh, -b_sh / omega);
+        }
+        y
+    }
+
+    /// Port impedance matrix at frequency `f` (Hz).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `f <= 0` or a singular admittance.
+    pub fn impedance(&self, f: f64) -> Result<Matrix<c64>, ExtractCircuitError> {
+        if f <= 0.0 {
+            return Err(ExtractCircuitError::NumericalBreakdown(
+                "impedance requires f > 0".into(),
+            ));
+        }
+        let y = self.admittance(f);
+        let lu = LuDecomposition::new(y)
+            .map_err(|e| ExtractCircuitError::NumericalBreakdown(e.to_string()))?;
+        let n = self.node_count();
+        let np = self.ports.len();
+        let mut z = Matrix::<c64>::zeros(np, np);
+        for (pj, &node_j) in self.ports.iter().enumerate() {
+            let mut rhs = vec![c64::ZERO; n];
+            rhs[node_j] = c64::ONE;
+            let v = lu
+                .solve(&rhs)
+                .map_err(|e| ExtractCircuitError::NumericalBreakdown(e.to_string()))?;
+            for (pi, &node_i) in self.ports.iter().enumerate() {
+                z[(pi, pj)] = v[node_i];
+            }
+        }
+        Ok(z)
+    }
+
+    /// Port S-parameters at frequency `f` with reference impedance `z0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates impedance/conversion failures.
+    pub fn s_parameters(&self, f: f64, z0: f64) -> Result<Matrix<c64>, ExtractCircuitError> {
+        let z = self.impedance(f)?;
+        pdn_circuit::s_from_z(&z, z0)
+            .map_err(|e| ExtractCircuitError::NumericalBreakdown(e.to_string()))
+    }
+
+    /// Finds the input-impedance resonances at a port, ascending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve failures.
+    pub fn find_resonances(
+        &self,
+        port: usize,
+        f_start: f64,
+        f_stop: f64,
+        points: usize,
+    ) -> Result<Vec<f64>, ExtractCircuitError> {
+        find_impedance_peaks(f_start, f_stop, points, |f| {
+            Ok(self.impedance(f)?[(port, port)].norm())
+        })
+    }
+
+    /// Exports the macromodel into a [`pdn_circuit::Circuit`] with the
+    /// default [`Realization::Passive`] policy, returning the created
+    /// circuit node of every retained node (in node order).
+    ///
+    /// Branches with relative weight below `rel_tol` (compared to the
+    /// largest branch of the same kind) are dropped, which keeps the
+    /// netlist size manageable for large macromodels; `rel_tol = 0.0`
+    /// keeps everything.
+    pub fn to_circuit(&self, ckt: &mut Circuit, prefix: &str, rel_tol: f64) -> Vec<NodeId> {
+        self.to_circuit_with(ckt, prefix, rel_tol, Realization::Passive)
+    }
+
+    /// [`to_circuit`](Self::to_circuit) with an explicit realization
+    /// policy.
+    pub fn to_circuit_with(
+        &self,
+        ckt: &mut Circuit,
+        prefix: &str,
+        rel_tol: f64,
+        realization: Realization,
+    ) -> Vec<NodeId> {
+        let nodes: Vec<NodeId> = self
+            .names
+            .iter()
+            .map(|name| ckt.node(format!("{prefix}{name}")))
+            .collect();
+        let branches = self.branches();
+        let max_binv = branches
+            .iter()
+            .map(|b| b.inverse_inductance.abs())
+            .fold(0.0, f64::max);
+        let max_c = branches
+            .iter()
+            .map(|b| b.capacitance.abs())
+            .fold(0.0, f64::max);
+        for br in &branches {
+            let (a, b) = (nodes[br.m], nodes[br.n]);
+            let keep_l = br.inverse_inductance.abs() > rel_tol * max_binv
+                && br.inverse_inductance != 0.0
+                && (br.inverse_inductance > 0.0 || realization == Realization::Exact);
+            if keep_l {
+                let l = 1.0 / br.inverse_inductance;
+                // Series resistance goes only on positive-inductance
+                // branches: R in series with a negative L is an active
+                // one-port and destabilizes transient runs.
+                match br.resistance() {
+                    Some(r) if br.inverse_inductance > 0.0 => {
+                        let mid = ckt.new_node();
+                        ckt.resistor(a, mid, r);
+                        ckt.inductor(mid, b, l);
+                    }
+                    _ => ckt.inductor(a, b, l),
+                }
+            } else if br.conductance > 0.0 {
+                ckt.resistor(a, b, 1.0 / br.conductance);
+            }
+            if br.capacitance > rel_tol * max_c && br.capacitance > 0.0 {
+                ckt.capacitor(a, b, br.capacitance);
+            }
+        }
+        for (m, &node) in nodes.iter().enumerate() {
+            let c_sh = self.shunt_capacitance(m);
+            if c_sh > 0.0 {
+                ckt.capacitor(node, Circuit::GND, c_sh);
+            }
+        }
+        nodes
+    }
+
+    /// Average link-direction resistance of a lossy branch circuit — a
+    /// quick sanity metric exposed for diagnostics.
+    pub fn has_loss(&self) -> bool {
+        self.g.max_abs() > 0.0
+    }
+}
+
+/// Spreads `count` equivalent-circuit retained nodes across a mesh —
+/// convenience for choosing a stride producing roughly `count` nodes.
+pub fn stride_for_node_budget(mesh: &pdn_geom::PlaneMesh, count: usize) -> usize {
+    let n = mesh.cell_count().max(1);
+    let ratio = (n as f64 / count.max(1) as f64).sqrt();
+    (ratio.round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_bem::BemOptions;
+    use pdn_geom::units::mm;
+    use pdn_geom::{PlaneMesh, PlanePair, Point, Polygon};
+    use pdn_greens::SurfaceImpedance;
+
+    fn bem(lossy: bool, ports: &[(f64, f64)]) -> BemSystem {
+        let mut mesh =
+            PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
+        for (i, &(x, y)) in ports.iter().enumerate() {
+            mesh.bind_port(format!("P{i}"), Point::new(x, y)).unwrap();
+        }
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let zs = if lossy {
+            SurfaceImpedance::from_sheet_resistance(4e-3)
+        } else {
+            SurfaceImpedance::lossless()
+        };
+        BemSystem::assemble(mesh, &pair, &zs, &BemOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn all_nodes_lossless_matches_bem_admittance() {
+        let sys = bem(false, &[(mm(2.0), mm(2.0))]);
+        let eq = EquivalentCircuit::from_bem(&sys, &NodeSelection::All).unwrap();
+        for &f in &[1e8, 1e9, 3e9] {
+            let y_eq = eq.admittance(f);
+            let y_bem = sys.nodal_admittance(f).unwrap();
+            let scale = y_bem.max_abs();
+            for i in 0..y_eq.nrows() {
+                for j in 0..y_eq.ncols() {
+                    let d = (y_eq[(i, j)] - y_bem[(i, j)]).norm();
+                    assert!(d < 1e-8 * scale, "f={f} ({i},{j}): diff {d:.3e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_impedance_tracks_full_solution() {
+        let sys = bem(true, &[(mm(2.0), mm(2.0)), (mm(17.0), mm(17.0))]);
+        let eq = EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 })
+            .unwrap();
+        // Accuracy degrades gracefully toward the first plane resonance
+        // (≈ 3.5 GHz) — the expected macromodel behaviour.
+        for &(f, tol) in &[(50e6, 0.01), (500e6, 0.05), (2e9, 0.2)] {
+            let z_full = sys.port_impedance(f).unwrap();
+            let z_red = eq.impedance(f).unwrap();
+            for i in 0..2 {
+                for j in 0..2 {
+                    let rel = (z_full[(i, j)] - z_red[(i, j)]).norm() / z_full[(i, j)].norm();
+                    assert!(rel < tol, "f={f} ({i},{j}): rel error {rel:.3}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_node_circuit_branch_structure() {
+        // The paper's Figure 2: a 4-node extraction has branches between
+        // every node pair plus shunt capacitances.
+        // Port coordinates snap to cell centers at 1.25 / 18.75 mm — a
+        // rectangle centered on the plate, so symmetry arguments hold.
+        let sys = bem(
+            true,
+            &[
+                (mm(2.0), mm(2.0)),
+                (mm(18.0), mm(2.0)),
+                (mm(2.0), mm(18.0)),
+                (mm(18.0), mm(18.0)),
+            ],
+        );
+        let eq = EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsOnly).unwrap();
+        assert_eq!(eq.node_count(), 4);
+        let branches = eq.branches();
+        assert_eq!(branches.len(), 6); // complete graph K4
+        for br in &branches {
+            assert!(
+                br.inverse_inductance > 0.0,
+                "port-to-port inductive branches are positive"
+            );
+            assert!(br.conductance > 0.0, "lossy extraction has branch R");
+            assert!(br.capacitance > 0.0, "mutual capacitance positive");
+        }
+        for m in 0..4 {
+            assert!(eq.shunt_capacitance(m) > 0.0);
+        }
+        // Symmetric plate: the two diagonal branches (P0–P3 and P1–P2)
+        // should match.
+        let find = |m: usize, n: usize| {
+            branches
+                .iter()
+                .find(|b| b.m == m && b.n == n)
+                .copied()
+                .unwrap()
+        };
+        let d1 = find(0, 3);
+        let d2 = find(1, 2);
+        assert!(
+            (d1.inverse_inductance - d2.inverse_inductance).abs()
+                < 1e-6 * d1.inverse_inductance
+        );
+    }
+
+    #[test]
+    fn resonance_survives_reduction() {
+        let sys = bem(true, &[(mm(1.5), mm(1.5))]);
+        let f10 = sys.pair().cavity_resonance(mm(20.0), mm(20.0), 1, 0);
+        let eq = EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 })
+            .unwrap();
+        let peaks = eq.find_resonances(0, 0.5 * f10, 1.4 * f10, 61).unwrap();
+        assert!(!peaks.is_empty());
+        let rel = (peaks[0] - f10).abs() / f10;
+        assert!(rel < 0.12, "reduced-model resonance off by {rel:.3}");
+    }
+
+    #[test]
+    fn netlist_export_matches_internal_impedance() {
+        let sys = bem(true, &[(mm(2.0), mm(2.0)), (mm(17.0), mm(12.0))]);
+        let eq =
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 3 }).unwrap();
+        // The Exact realization reproduces the internal impedance to
+        // machine precision; the default Passive realization (negative
+        // Kron residues dropped) stays within a few percent.
+        let mut exact = Circuit::new();
+        let nodes = eq.to_circuit_with(&mut exact, "pg_", 0.0, Realization::Exact);
+        let ports: Vec<NodeId> = (0..eq.port_count())
+            .map(|p| nodes[eq.port_node(p)])
+            .collect();
+        let mut passive = Circuit::new();
+        let pnodes = eq.to_circuit(&mut passive, "pg_", 0.0);
+        let pports: Vec<NodeId> = (0..eq.port_count())
+            .map(|p| pnodes[eq.port_node(p)])
+            .collect();
+        for &f in &[100e6, 1e9] {
+            let z_eq = eq.impedance(f).unwrap();
+            let z_exact = exact.impedance_matrix(f, &ports).unwrap();
+            for i in 0..2 {
+                for j in 0..2 {
+                    let rel =
+                        (z_exact[(i, j)] - z_eq[(i, j)]).norm() / z_eq[(i, j)].norm();
+                    assert!(rel < 1e-6, "exact f={f}: rel {rel:.2e}");
+                }
+            }
+        }
+        // The passive drop shifts impedance nulls slightly, so compare at
+        // low frequency (away from series resonances) and normalize by the
+        // matrix scale rather than tiny individual entries.
+        for &f in &[50e6, 200e6] {
+            let z_eq = eq.impedance(f).unwrap();
+            let z_passive = passive.impedance_matrix(f, &pports).unwrap();
+            let scale = z_eq.max_abs();
+            for i in 0..2 {
+                for j in 0..2 {
+                    let rel = (z_passive[(i, j)] - z_eq[(i, j)]).norm() / scale;
+                    assert!(rel < 0.05, "passive f={f}: rel {rel:.2e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exported_macromodel_transient_is_stable() {
+        // Kron reduction produces many small NEGATIVE inverse-inductance
+        // branches; pairing them with series resistance makes an active
+        // branch and time-domain runs explode (regression: v_end ~ 1e122).
+        // The exported netlist must stay bounded.
+        let sys = bem(true, &[(mm(2.0), mm(2.0)), (mm(18.0), mm(18.0))]);
+        let eq =
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
+        assert!(
+            eq.branches()
+                .iter()
+                .any(|b| b.inverse_inductance < 0.0),
+            "test premise: reduction produced negative branches"
+        );
+        let mut ckt = Circuit::new();
+        let nodes = eq.to_circuit(&mut ckt, "pg_", 0.0);
+        let p0 = nodes[eq.port_node(0)];
+        let p1 = nodes[eq.port_node(1)];
+        let src = ckt.node("src");
+        ckt.voltage_source(
+            src,
+            Circuit::GND,
+            pdn_circuit::Waveform::pulse(0.0, 5.0, 0.1e-9, 0.2e-9, 0.2e-9, 1.0e-9),
+        );
+        ckt.resistor(src, p0, 50.0);
+        ckt.resistor(p1, Circuit::GND, 50.0);
+        let res = ckt
+            .transient(&pdn_circuit::TransientSpec::new(6e-9, 2e-12))
+            .unwrap();
+        let v_end = res.voltage(p1).last().copied().unwrap();
+        let v_max = res.voltage(p1).iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(v_max < 10.0, "bounded response, got {v_max}");
+        assert!(v_end.abs() < 1.0, "ring-down, got {v_end}");
+    }
+
+    #[test]
+    fn s_parameters_passive() {
+        let sys = bem(true, &[(mm(2.0), mm(2.0)), (mm(17.0), mm(17.0))]);
+        let eq = EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 })
+            .unwrap();
+        let s = eq.s_parameters(1e9, 50.0).unwrap();
+        // Passivity: all |S| entries ≤ 1 for a passive network.
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(s[(i, j)].norm() <= 1.0 + 1e-9, "S({i},{j}) = {}", s[(i, j)]);
+            }
+        }
+        // Reciprocity.
+        assert!((s[(0, 1)] - s[(1, 0)]).norm() < 1e-9);
+    }
+
+    #[test]
+    fn no_ports_rejected() {
+        let mesh = PlaneMesh::build(&Polygon::rectangle(mm(10.0), mm(10.0)), mm(2.0)).unwrap();
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let sys = BemSystem::assemble(
+            mesh,
+            &pair,
+            &SurfaceImpedance::lossless(),
+            &BemOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::All).unwrap_err(),
+            ExtractCircuitError::NoPorts
+        );
+    }
+
+    #[test]
+    fn stride_budget_helper() {
+        let mesh = PlaneMesh::build(&Polygon::rectangle(mm(40.0), mm(40.0)), mm(1.0)).unwrap();
+        let s = stride_for_node_budget(&mesh, 42);
+        // 1600 cells → stride ≈ √(1600/42) ≈ 6.
+        assert!((5..=7).contains(&s), "stride = {s}");
+    }
+}
+
+#[cfg(test)]
+mod dielectric_loss_tests {
+    use super::*;
+    use pdn_bem::{BemOptions, BemSystem};
+    use pdn_geom::units::mm;
+    use pdn_geom::{PlaneMesh, PlanePair, Point, Polygon};
+    use pdn_greens::SurfaceImpedance;
+
+    fn eq_with_tan_d(tan_d: f64) -> (EquivalentCircuit, f64) {
+        let mut mesh =
+            PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
+        mesh.bind_port("P", Point::new(mm(1.5), mm(1.5))).unwrap();
+        let pair = PlanePair::new(0.5e-3, 4.5)
+            .unwrap()
+            .with_loss_tangent(tan_d);
+        let f10 = pair.cavity_resonance(mm(20.0), mm(20.0), 1, 0);
+        let sys = BemSystem::assemble(
+            mesh,
+            &pair,
+            &SurfaceImpedance::lossless(),
+            &BemOptions::default(),
+        )
+        .unwrap();
+        (
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 })
+                .unwrap(),
+            f10,
+        )
+    }
+
+    #[test]
+    fn loss_tangent_propagates_from_the_pair() {
+        let (eq, _) = eq_with_tan_d(0.02);
+        assert_eq!(eq.dielectric_loss_tangent(), 0.02);
+        let (eq0, _) = eq_with_tan_d(0.0);
+        assert_eq!(eq0.dielectric_loss_tangent(), 0.0);
+    }
+
+    #[test]
+    fn dielectric_loss_damps_the_resonance() {
+        let (lossless, f10) = eq_with_tan_d(0.0);
+        let lossy = lossless.clone().with_dielectric_loss(0.05);
+        // Compare at the macromodel's own resonance (shifted a few percent
+        // from the analytic cavity frequency).
+        let f_peak = lossless
+            .find_resonances(0, 0.5 * f10, 1.4 * f10, 81)
+            .unwrap()[0];
+        let z0 = lossless.impedance(f_peak).unwrap()[(0, 0)].norm();
+        let z1 = lossy.impedance(f_peak).unwrap()[(0, 0)].norm();
+        assert!(z1 < 0.8 * z0, "tanδ damps the peak: {z1:.2} vs {z0:.2}");
+        // Far from resonance the effect is small.
+        let zl0 = lossless.impedance(0.05 * f10).unwrap()[(0, 0)].norm();
+        let zl1 = lossy.impedance(0.05 * f10).unwrap()[(0, 0)].norm();
+        assert!((zl0 - zl1).abs() / zl0 < 0.01);
+    }
+
+    #[test]
+    fn lossy_dielectric_adds_real_admittance() {
+        let (eq, _) = eq_with_tan_d(0.02);
+        let y = eq.admittance(1e9);
+        // Lossless metal + lossy dielectric: the real part comes from tanδ.
+        assert!(y[(0, 0)].re > 0.0);
+        let y0 = eq.clone().with_dielectric_loss(0.0).admittance(1e9);
+        assert_eq!(y0[(0, 0)].re, 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Impedance-peak (resonance) detection on frequency sweeps.
+
+/// Finds local maxima of `|z(f)|` on a linear frequency grid, returned in
+/// ascending frequency order (the order the paper lists its resonant
+/// modes `f₀`, `f₁`, …).
+///
+/// `eval` is called once per grid point and may fail; the first error
+/// aborts the scan.
+///
+/// # Errors
+///
+/// Propagates the first error returned by `eval`.
+///
+/// # Panics
+///
+/// Panics unless `points >= 3` and the range is positive.
+///
+/// # Examples
+///
+/// ```
+/// let peaks = pdn_extract::find_impedance_peaks(1.0, 10.0, 91, |f| {
+///     // Two Lorentzian peaks at f = 3 and f = 7.
+///     Ok::<f64, std::convert::Infallible>(
+///         1.0 / ((f - 3.0f64).powi(2) + 0.01) + 2.0 / ((f - 7.0f64).powi(2) + 0.01),
+///     )
+/// })
+/// .unwrap();
+/// assert_eq!(peaks.len(), 2);
+/// assert!((peaks[0] - 3.0).abs() < 0.1);
+/// assert!((peaks[1] - 7.0).abs() < 0.1);
+/// ```
+pub fn find_impedance_peaks<E>(
+    f_start: f64,
+    f_stop: f64,
+    points: usize,
+    mut eval: impl FnMut(f64) -> Result<f64, E>,
+) -> Result<Vec<f64>, E> {
+    assert!(points >= 3, "need at least three scan points");
+    assert!(
+        f_stop > f_start && f_start > 0.0,
+        "invalid frequency range"
+    );
+    let mut grid = Vec::with_capacity(points);
+    for k in 0..points {
+        let f = f_start + (f_stop - f_start) * k as f64 / (points - 1) as f64;
+        grid.push((f, eval(f)?));
+    }
+    let mut peaks = Vec::new();
+    for k in 1..points - 1 {
+        if grid[k].1 > grid[k - 1].1 && grid[k].1 > grid[k + 1].1 {
+            // Parabolic refinement of the peak position.
+            let (f0, y0) = grid[k - 1];
+            let (f1, y1) = grid[k];
+            let (_, y2) = grid[k + 1];
+            let denom = y0 - 2.0 * y1 + y2;
+            let df = grid[1].0 - grid[0].0;
+            let shift = if denom.abs() > 0.0 {
+                (0.5 * (y0 - y2) / denom).clamp(-1.0, 1.0)
+            } else {
+                0.0
+            };
+            let _ = f0;
+            peaks.push(f1 + shift * df);
+        }
+    }
+    Ok(peaks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    #[test]
+    fn single_peak_with_parabolic_refinement() {
+        // Peak at 5.3, off the grid points.
+        let peaks = find_impedance_peaks(1.0, 10.0, 19, |f| {
+            Ok::<_, Infallible>(1.0 / ((f - 5.3f64).powi(2) + 0.5))
+        })
+        .unwrap();
+        assert_eq!(peaks.len(), 1);
+        assert!((peaks[0] - 5.3).abs() < 0.05, "got {}", peaks[0]);
+    }
+
+    #[test]
+    fn monotone_function_has_no_peaks() {
+        let peaks =
+            find_impedance_peaks(1.0, 10.0, 10, |f| Ok::<_, Infallible>(f)).unwrap();
+        assert!(peaks.is_empty());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let r = find_impedance_peaks(1.0, 10.0, 5, |f| {
+            if f > 5.0 {
+                Err("boom")
+            } else {
+                Ok(1.0)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn ascending_order() {
+        let peaks = find_impedance_peaks(1.0, 20.0, 96, |f| {
+            Ok::<_, Infallible>(
+                5.0 / ((f - 4.0f64).powi(2) + 0.1) + 1.0 / ((f - 15.0f64).powi(2) + 0.1),
+            )
+        })
+        .unwrap();
+        assert_eq!(peaks.len(), 2);
+        assert!(peaks[0] < peaks[1]);
+    }
+}

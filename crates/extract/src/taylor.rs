@@ -1,0 +1,205 @@
+//! The paper's Taylor-expanded impedance formulation (eqs. 17–19).
+//!
+//! Starting from the exact quasi-static impedance
+//! `Z = [jωC + Aᵀ(jωL)⁻¹A]⁻¹` (eq. 17), the paper keeps the first and
+//! third order terms of the frequency expansion:
+//!
+//! ```text
+//! Z(ω) ≈ jω·L_R − (jω)³·L_R·C·L_R ,     L_R = (AᵀL⁻¹A)⁻¹   (eqs. 18–19)
+//! ```
+//!
+//! so that "all major matrix operations are frequency independent". The
+//! reluctance matrix of a floating net is singular (zero row sums), so —
+//! exactly as the paper's eq. (26) designates a reference node — one
+//! retained node is grounded and the expansion operates on the remaining
+//! block.
+//!
+//! This module implements both the expansion and the corresponding exact
+//! grounded-reference impedance so the truncation error (∝ ω⁵ at the
+//! next omitted order) can be measured — the ablation behind the paper's
+//! claim that the simplified form holds "up to a certain frequency limit
+//! well above most digital signal bandwidth".
+
+use crate::circuit::{EquivalentCircuit, ExtractCircuitError};
+use pdn_num::{c64, LuDecomposition, Matrix};
+use std::f64::consts::PI;
+
+impl EquivalentCircuit {
+    /// Index list of all retained nodes except `reference`.
+    fn non_reference(&self, reference: usize) -> Vec<usize> {
+        (0..self.node_count()).filter(|&m| m != reference).collect()
+    }
+
+    /// The grounded reluctance inverse `L_R = (B_rr)⁻¹` with node
+    /// `reference` grounded.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the grounded block is singular (disconnected
+    /// nets) or `reference` is out of range.
+    pub fn grounded_inductance(
+        &self,
+        reference: usize,
+    ) -> Result<Matrix<f64>, ExtractCircuitError> {
+        if reference >= self.node_count() {
+            return Err(ExtractCircuitError::NumericalBreakdown(format!(
+                "reference node {reference} out of range"
+            )));
+        }
+        let keep = self.non_reference(reference);
+        let b_rr = self.reluctance().submatrix(&keep, &keep);
+        pdn_num::lu::invert(b_rr)
+            .map_err(|e| ExtractCircuitError::NumericalBreakdown(e.to_string()))
+    }
+
+    /// The paper's eq. (18)/(19) impedance:
+    /// `Z(ω) = jω·L_R − (jω)³·L_R·C_rr·L_R`, node `reference` grounded.
+    ///
+    /// Rows/columns follow the retained-node order with `reference`
+    /// removed.
+    ///
+    /// # Errors
+    ///
+    /// See [`grounded_inductance`](Self::grounded_inductance).
+    pub fn taylor_impedance(
+        &self,
+        f: f64,
+        reference: usize,
+    ) -> Result<Matrix<c64>, ExtractCircuitError> {
+        let omega = 2.0 * PI * f;
+        let l_r = self.grounded_inductance(reference)?;
+        let keep = self.non_reference(reference);
+        let c_rr = self.capacitance().submatrix(&keep, &keep);
+        let lcl = l_r.matmul(&c_rr).matmul(&l_r);
+        let n = l_r.nrows();
+        // (jω)³ = −jω³.
+        Ok(Matrix::from_fn(n, n, |i, j| {
+            c64::from_im(omega * l_r[(i, j)] + omega.powi(3) * lcl[(i, j)])
+        }))
+    }
+
+    /// The exact (lossless, quasi-static) impedance with node `reference`
+    /// grounded: `Z = [B_rr/(jω) + jωC_rr]⁻¹` — the unexpanded eq. (17).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range reference or singular system.
+    pub fn grounded_impedance_exact(
+        &self,
+        f: f64,
+        reference: usize,
+    ) -> Result<Matrix<c64>, ExtractCircuitError> {
+        if reference >= self.node_count() {
+            return Err(ExtractCircuitError::NumericalBreakdown(format!(
+                "reference node {reference} out of range"
+            )));
+        }
+        let omega = 2.0 * PI * f;
+        let keep = self.non_reference(reference);
+        let b_rr = self.reluctance().submatrix(&keep, &keep);
+        let c_rr = self.capacitance().submatrix(&keep, &keep);
+        let n = keep.len();
+        let y = Matrix::from_fn(n, n, |i, j| {
+            c64::from_im(-b_rr[(i, j)] / omega + omega * c_rr[(i, j)])
+        });
+        LuDecomposition::new(y)
+            .and_then(|lu| lu.inverse())
+            .map_err(|e| ExtractCircuitError::NumericalBreakdown(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::NodeSelection;
+    use pdn_bem::{BemOptions, BemSystem};
+    use pdn_geom::units::mm;
+    use pdn_geom::{PlaneMesh, PlanePair, Point, Polygon};
+    use pdn_greens::SurfaceImpedance;
+
+    fn model() -> (EquivalentCircuit, f64) {
+        let mut mesh =
+            PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
+        mesh.bind_port("P1", Point::new(mm(2.0), mm(2.0))).unwrap();
+        mesh.bind_port("P2", Point::new(mm(18.0), mm(18.0)))
+            .unwrap();
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let f10 = pair.cavity_resonance(mm(20.0), mm(20.0), 1, 0);
+        let sys = BemSystem::assemble(
+            mesh,
+            &pair,
+            &SurfaceImpedance::lossless(),
+            &BemOptions::default(),
+        )
+        .unwrap();
+        (
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 })
+                .unwrap(),
+            f10,
+        )
+    }
+
+    #[test]
+    fn low_frequency_expansion_matches_exact() {
+        let (eq, f10) = model();
+        let f = 0.02 * f10;
+        let z_taylor = eq.taylor_impedance(f, 0).unwrap();
+        let z_exact = eq.grounded_impedance_exact(f, 0).unwrap();
+        let scale = z_exact.max_abs();
+        for i in 0..z_exact.nrows() {
+            for j in 0..z_exact.ncols() {
+                let d = (z_taylor[(i, j)] - z_exact[(i, j)]).norm();
+                assert!(d < 1e-4 * scale, "({i},{j}): {d:.3e} vs scale {scale:.3e}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_error_grows_like_omega_to_the_fifth() {
+        let (eq, f10) = model();
+        let err_at = |f: f64| {
+            let zt = eq.taylor_impedance(f, 0).unwrap();
+            let ze = eq.grounded_impedance_exact(f, 0).unwrap();
+            (&zt - &ze).max_abs()
+        };
+        let e1 = err_at(0.02 * f10);
+        let e2 = err_at(0.04 * f10);
+        // The next omitted term is O(ω⁵): doubling ω grows the error ~32×.
+        let ratio = e2 / e1;
+        assert!(
+            ratio > 16.0 && ratio < 64.0,
+            "error growth ratio {ratio:.1} (expect ≈ 2⁵)"
+        );
+    }
+
+    #[test]
+    fn leading_term_is_the_inductance_matrix() {
+        let (eq, _) = model();
+        let f = 1e6; // deep quasi-static regime
+        let z = eq.taylor_impedance(f, 0).unwrap();
+        let l_r = eq.grounded_inductance(0).unwrap();
+        let omega = 2.0 * PI * f;
+        for i in 0..z.nrows() {
+            assert!(z[(i, i)].re.abs() < 1e-15);
+            let rel = (z[(i, i)].im - omega * l_r[(i, i)]).abs() / (omega * l_r[(i, i)]);
+            assert!(rel < 1e-6, "cubic term negligible at 1 MHz: {rel:.2e}");
+        }
+    }
+
+    #[test]
+    fn grounded_inductance_is_spd() {
+        let (eq, _) = model();
+        let l_r = eq.grounded_inductance(0).unwrap();
+        let sym = Matrix::from_fn(l_r.nrows(), l_r.ncols(), |i, j| {
+            0.5 * (l_r[(i, j)] + l_r[(j, i)])
+        });
+        assert!(pdn_num::cholesky::is_positive_definite(&sym));
+    }
+
+    #[test]
+    fn out_of_range_reference_rejected() {
+        let (eq, _) = model();
+        assert!(eq.taylor_impedance(1e9, 10_000).is_err());
+        assert!(eq.grounded_impedance_exact(1e9, 10_000).is_err());
+    }
+}

@@ -1,0 +1,598 @@
+#![warn(missing_docs)]
+//! 2-D FDTD solver for power/ground plane pairs.
+//!
+//! The paper verifies its equivalent-circuit transients against a 2-D FDTD
+//! simulation (Fig. 8: "a grid size of 1 mm by 1 mm and a time step of
+//! 10 ps"). This crate is that independent reference: the plane pair is a
+//! 2-D transmission plane governed by the telegrapher equations
+//!
+//! ```text
+//! C_a·∂v/∂t  = −(∂i_x/∂x + ∂i_y/∂y) + injected current density
+//! L_s·∂i/∂t  = −∇v − R·i
+//! ```
+//!
+//! with per-area capacitance `C_a = ε/d` and per-square inductance
+//! `L_s = μ·d`, discretized on a staggered (Yee) grid with leapfrog time
+//! stepping. Open plane edges are natural magnetic walls (normal current
+//! = 0), matching a PCB plane's open perimeter; conductor loss enters as
+//! a semi-implicit series `R` per square; ports are lumped resistive
+//! branches (optionally behind a source) solved implicitly for stability.
+//!
+//! # Examples
+//!
+//! ```
+//! use pdn_circuit::Waveform;
+//! use pdn_fdtd::PlaneFdtd;
+//! use pdn_geom::{units::mm, PlanePair, Point, Polygon};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pair = PlanePair::new(0.5e-3, 4.5)?;
+//! let mut sim = PlaneFdtd::new(&Polygon::rectangle(mm(20.0), mm(20.0)), &pair, mm(1.0))?;
+//! let p1 = sim.add_port("P1", Point::new(mm(2.0), mm(2.0)), 50.0)?;
+//! sim.drive_port(p1, Waveform::pulse(0.0, 5.0, 0.0, 0.2e-9, 0.2e-9, 1.0e-9));
+//! let result = sim.run(2e-9);
+//! assert!(!result.time.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use pdn_circuit::Waveform;
+use pdn_geom::{PlanePair, Point, Polygon};
+use std::error::Error;
+use std::fmt;
+
+/// Error from FDTD setup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildFdtdError {
+    /// Grid size invalid or produced no conductor cells.
+    BadGrid(String),
+    /// A port location is not on the conductor.
+    PortOffPlane {
+        /// Port name.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildFdtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildFdtdError::BadGrid(s) => write!(f, "invalid FDTD grid: {s}"),
+            BuildFdtdError::PortOffPlane { name } => {
+                write!(f, "port {name} is not on the conductor plane")
+            }
+        }
+    }
+}
+
+impl Error for BuildFdtdError {}
+
+/// Identifies a port on the FDTD grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdtdPortId(usize);
+
+struct FdtdPort {
+    name: String,
+    idx: usize,
+    r_term: f64,
+    source: Option<Waveform>,
+}
+
+/// Waveform record from an FDTD run.
+#[derive(Debug, Clone)]
+pub struct FdtdResult {
+    /// Sample times (s).
+    pub time: Vec<f64>,
+    /// Port voltages, one waveform per port in creation order.
+    pub port_voltages: Vec<Vec<f64>>,
+}
+
+/// A 2-D plane-pair FDTD simulation.
+pub struct PlaneFdtd {
+    nx: usize,
+    ny: usize,
+    dx: f64,
+    dy: f64,
+    dt: f64,
+    c_a: f64,
+    l_s: f64,
+    r_loop: f64,
+    origin: Point,
+    mask: Vec<bool>,
+    v: Vec<f64>,
+    ix: Vec<f64>,
+    iy: Vec<f64>,
+    ports: Vec<FdtdPort>,
+    step: usize,
+}
+
+impl PlaneFdtd {
+    /// Builds the grid over `shape` with square cells of side `cell`,
+    /// using a Courant factor of 0.9.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildFdtdError::BadGrid`] for a non-positive cell size or
+    /// a shape with no interior cells.
+    pub fn new(shape: &Polygon, pair: &PlanePair, cell: f64) -> Result<Self, BuildFdtdError> {
+        if !(cell > 0.0) || !cell.is_finite() {
+            return Err(BuildFdtdError::BadGrid(format!("cell size {cell}")));
+        }
+        let (min, max) = shape.bounding_box();
+        let nx = (((max.x - min.x) / cell).round() as usize).max(1);
+        let ny = (((max.y - min.y) / cell).round() as usize).max(1);
+        let dx = (max.x - min.x) / nx as f64;
+        let dy = (max.y - min.y) / ny as f64;
+        let mut mask = vec![false; nx * ny];
+        let mut any = false;
+        for j in 0..ny {
+            for i in 0..nx {
+                let p = Point::new(
+                    min.x + (i as f64 + 0.5) * dx,
+                    min.y + (j as f64 + 0.5) * dy,
+                );
+                if shape.contains(p) {
+                    mask[j * nx + i] = true;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return Err(BuildFdtdError::BadGrid(
+                "no grid cells inside the shape".into(),
+            ));
+        }
+        let c_a = pair.capacitance_per_area();
+        let l_s = pair.inductance_per_square();
+        let v_phase = 1.0 / (c_a * l_s).sqrt();
+        let dt = 0.9 / (v_phase * (1.0 / (dx * dx) + 1.0 / (dy * dy)).sqrt());
+        Ok(PlaneFdtd {
+            nx,
+            ny,
+            dx,
+            dy,
+            dt,
+            c_a,
+            l_s,
+            r_loop: 0.0,
+            origin: min,
+            mask,
+            v: vec![0.0; nx * ny],
+            ix: vec![0.0; (nx + 1) * ny],
+            iy: vec![0.0; nx * (ny + 1)],
+            ports: Vec::new(),
+            step: 0,
+        })
+    }
+
+    /// Sets the series loop resistance per square (both conductors) —
+    /// builder style.
+    pub fn with_loss(mut self, r_loop_per_square: f64) -> Self {
+        self.r_loop = r_loop_per_square.max(0.0);
+        self
+    }
+
+    /// Overrides the automatic time step. Values above the CFL limit are
+    /// clamped to it.
+    pub fn with_time_step(mut self, dt: f64) -> Self {
+        let v_phase = 1.0 / (self.c_a * self.l_s).sqrt();
+        let cfl = 1.0
+            / (v_phase * (1.0 / (self.dx * self.dx) + 1.0 / (self.dy * self.dy)).sqrt());
+        self.dt = dt.min(cfl).max(1e-18);
+        self
+    }
+
+    /// Time step in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Adds a resistive port at `location` (absolute coordinates of the
+    /// shape used at construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildFdtdError::PortOffPlane`] when the location is not a
+    /// conductor cell.
+    pub fn add_port(
+        &mut self,
+        name: impl Into<String>,
+        location: Point,
+        r_term: f64,
+    ) -> Result<FdtdPortId, BuildFdtdError> {
+        let name = name.into();
+        let idx = self
+            .cell_index(location)
+            .filter(|&i| self.mask[i])
+            .ok_or(BuildFdtdError::PortOffPlane { name: name.clone() })?;
+        let id = FdtdPortId(self.ports.len());
+        self.ports.push(FdtdPort {
+            name,
+            idx,
+            r_term: r_term.max(1e-3),
+            source: None,
+        });
+        Ok(id)
+    }
+
+    /// Attaches a series source waveform behind the port's termination.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an invalid port id.
+    pub fn drive_port(&mut self, port: FdtdPortId, wave: Waveform) {
+        self.ports[port.0].source = Some(wave);
+    }
+
+    /// Port name.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an invalid port id.
+    pub fn port_name(&self, port: FdtdPortId) -> &str {
+        &self.ports[port.0].name
+    }
+
+    fn cell_index(&self, p: Point) -> Option<usize> {
+        let i = ((p.x - self.origin.x) / self.dx - 0.5).round() as isize;
+        let j = ((p.y - self.origin.y) / self.dy - 0.5).round() as isize;
+        if i < 0 || j < 0 || i >= self.nx as isize || j >= self.ny as isize {
+            return None;
+        }
+        Some(j as usize * self.nx + i as usize)
+    }
+
+    /// Advances the simulation by `t_stop / dt` steps, recording port
+    /// voltages each step. Can be called repeatedly to continue a run.
+    pub fn run(&mut self, t_stop: f64) -> FdtdResult {
+        let n_steps = (t_stop / self.dt).round().max(1.0) as usize;
+        let mut time = Vec::with_capacity(n_steps);
+        let mut port_voltages = vec![Vec::with_capacity(n_steps); self.ports.len()];
+        let (nx, ny) = (self.nx, self.ny);
+        // Loss: semi-implicit update factors.
+        let alpha = self.r_loop * self.dt / (2.0 * self.l_s);
+        let loss_num = (1.0 - alpha) / (1.0 + alpha);
+        let curl_fac_x = self.dt / (self.l_s * self.dx) / (1.0 + alpha);
+        let curl_fac_y = self.dt / (self.l_s * self.dy) / (1.0 + alpha);
+        for _ in 0..n_steps {
+            // --- current update (i at half steps) ------------------------
+            for j in 0..ny {
+                for i in 1..nx {
+                    let a = j * nx + i - 1;
+                    let b = j * nx + i;
+                    let idx = j * (nx + 1) + i;
+                    if self.mask[a] && self.mask[b] {
+                        self.ix[idx] =
+                            loss_num * self.ix[idx] - curl_fac_x * (self.v[b] - self.v[a]);
+                    } else {
+                        self.ix[idx] = 0.0;
+                    }
+                }
+            }
+            for j in 1..ny {
+                for i in 0..nx {
+                    let a = (j - 1) * nx + i;
+                    let b = j * nx + i;
+                    let idx = j * nx + i;
+                    if self.mask[a] && self.mask[b] {
+                        self.iy[idx] =
+                            loss_num * self.iy[idx] - curl_fac_y * (self.v[b] - self.v[a]);
+                    } else {
+                        self.iy[idx] = 0.0;
+                    }
+                }
+            }
+            // --- voltage update -----------------------------------------
+            let t_new = (self.step + 1) as f64 * self.dt;
+            let dv_fac = self.dt / self.c_a;
+            for j in 0..ny {
+                for i in 0..nx {
+                    let c = j * nx + i;
+                    if !self.mask[c] {
+                        continue;
+                    }
+                    let div = (self.ix[j * (nx + 1) + i + 1] - self.ix[j * (nx + 1) + i])
+                        / self.dx
+                        + (self.iy[(j + 1) * nx + i] - self.iy[j * nx + i]) / self.dy;
+                    self.v[c] -= dv_fac * div;
+                }
+            }
+            // --- lumped ports (implicit) ---------------------------------
+            for port in &self.ports {
+                let c_cell = self.c_a * self.dx * self.dy;
+                let beta = self.dt / (c_cell * port.r_term);
+                let v_src = port.source.as_ref().map_or(0.0, |w| w.eval(t_new));
+                // C dv/dt = (v_src − v)/R ⇒ implicit:
+                // v_new = (v_curl + β·v_src)/(1 + β)
+                let v_old = self.v[port.idx];
+                self.v[port.idx] = (v_old + beta * v_src) / (1.0 + beta);
+            }
+            self.step += 1;
+            time.push(self.step as f64 * self.dt);
+            for (k, port) in self.ports.iter().enumerate() {
+                port_voltages[k].push(self.v[port.idx]);
+            }
+        }
+        FdtdResult {
+            time,
+            port_voltages,
+        }
+    }
+
+    /// Voltage at the cell nearest `p` right now.
+    pub fn probe(&self, p: Point) -> f64 {
+        self.cell_index(p).map_or(0.0, |i| self.v[i])
+    }
+
+    /// Snapshot of the plane voltage: `(nx, ny, values)` in row-major
+    /// order (`None` entries are off-conductor cells).
+    ///
+    /// Useful for rendering noise maps of the plane during an SSN event.
+    pub fn voltage_map(&self) -> (usize, usize, Vec<Option<f64>>) {
+        let vals = self
+            .mask
+            .iter()
+            .zip(&self.v)
+            .map(|(&m, &v)| if m { Some(v) } else { None })
+            .collect();
+        (self.nx, self.ny, vals)
+    }
+
+    /// Largest |voltage| anywhere on the plane right now.
+    pub fn peak_voltage(&self) -> f64 {
+        self.mask
+            .iter()
+            .zip(&self.v)
+            .filter(|(&m, _)| m)
+            .map(|(_, &v)| v.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total field energy `½C·v² + ½L·i²` summed over the grid (J).
+    pub fn field_energy(&self) -> f64 {
+        let cell = self.dx * self.dy;
+        let mut e = 0.0;
+        for (c, &m) in self.mask.iter().enumerate() {
+            if m {
+                e += 0.5 * self.c_a * cell * self.v[c] * self.v[c];
+            }
+        }
+        // Current contributions (i is a surface density, A/m).
+        for j in 0..self.ny {
+            for i in 1..self.nx {
+                let ixv = self.ix[j * (self.nx + 1) + i];
+                e += 0.5 * self.l_s * ixv * ixv * cell;
+            }
+        }
+        for j in 1..self.ny {
+            for i in 0..self.nx {
+                let iyv = self.iy[j * self.nx + i];
+                e += 0.5 * self.l_s * iyv * iyv * cell;
+            }
+        }
+        e
+    }
+}
+
+impl fmt::Debug for PlaneFdtd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlaneFdtd")
+            .field("grid", &(self.nx, self.ny))
+            .field("dt", &self.dt)
+            .field("ports", &self.ports.len())
+            .field("step", &self.step)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_geom::units::mm;
+    use pdn_num::approx_eq;
+    use pdn_num::real_fft_magnitude;
+
+    #[test]
+    fn pulse_propagates_at_plane_velocity() {
+        // A long narrow strip: 1-D propagation between two probes.
+        let pair = PlanePair::new(0.5e-3, 4.0).unwrap();
+        let shape = Polygon::rectangle(mm(100.0), mm(4.0));
+        let mut sim = PlaneFdtd::new(&shape, &pair, mm(1.0)).unwrap();
+        let p_in = sim
+            .add_port("in", Point::new(mm(2.0), mm(2.0)), 1.0)
+            .unwrap();
+        sim.drive_port(p_in, Waveform::pulse(0.0, 1.0, 0.0, 50e-12, 50e-12, 50e-12));
+        let probe_a = Point::new(mm(30.0), mm(2.0));
+        let probe_b = Point::new(mm(70.0), mm(2.0));
+        let v_expected = pair.phase_velocity();
+        // Track the arrival (first crossing of a threshold) at each probe.
+        let mut t_a = None;
+        let mut t_b = None;
+        let t_end = 1.0e-9;
+        let steps = (t_end / sim.dt()).round() as usize;
+        for _ in 0..steps {
+            sim.run(sim.dt());
+            let t = sim.step as f64 * sim.dt();
+            if t_a.is_none() && sim.probe(probe_a).abs() > 0.02 {
+                t_a = Some(t);
+            }
+            if t_b.is_none() && sim.probe(probe_b).abs() > 0.02 {
+                t_b = Some(t);
+            }
+        }
+        let (ta, tb) = (t_a.expect("wave reached probe A"), t_b.expect("probe B"));
+        let v_measured = mm(40.0) / (tb - ta);
+        assert!(
+            approx_eq(v_measured, v_expected, 0.05),
+            "v = {v_measured:.3e} vs {v_expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn cavity_resonance_frequency() {
+        // Ring-down spectrum of a square plane peaks at the (1,0) cavity
+        // mode.
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let a = mm(20.0);
+        let mut sim = PlaneFdtd::new(&Polygon::rectangle(a, a), &pair, mm(0.5)).unwrap();
+        let p = sim
+            .add_port("p", Point::new(mm(1.0), mm(1.0)), 1e6)
+            .unwrap();
+        sim.drive_port(
+            p,
+            Waveform::pulse(0.0, 1.0, 0.0, 30e-12, 30e-12, 20e-12),
+        );
+        let res = sim.run(8e-9);
+        let (freqs, mags) = real_fft_magnitude(&res.port_voltages[0], sim.dt());
+        // Search a window bracketing the (1,0) mode; the corner port also
+        // rings the higher (1,1) mode at √2·f₁₀, outside this window.
+        let f10 = pair.cavity_resonance(a, a, 1, 0);
+        let mut best = (0.0, 0.0);
+        for (f, m) in freqs.iter().zip(&mags) {
+            if *f > 0.7 * f10 && *f < 1.3 * f10 && *m > best.1 {
+                best = (*f, *m);
+            }
+        }
+        assert!(
+            approx_eq(best.0, f10, 0.08),
+            "FDTD resonance {:.3e} vs cavity {f10:.3e}",
+            best.0
+        );
+    }
+
+    #[test]
+    fn lossless_energy_conserved_after_excitation() {
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let mut sim =
+            PlaneFdtd::new(&Polygon::rectangle(mm(20.0), mm(20.0)), &pair, mm(1.0)).unwrap();
+        let p = sim
+            .add_port("p", Point::new(mm(5.0), mm(5.0)), 1e9)
+            .unwrap();
+        sim.drive_port(p, Waveform::pulse(0.0, 1.0, 0.0, 50e-12, 50e-12, 0.0));
+        sim.run(1e-9); // excitation over (port nearly open afterwards)
+        let e1 = sim.field_energy();
+        sim.run(3e-9);
+        let e2 = sim.field_energy();
+        assert!(e1 > 0.0);
+        assert!((e2 - e1).abs() / e1 < 0.05, "energy drift {e1} -> {e2}");
+    }
+
+    #[test]
+    fn loss_dissipates_energy() {
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let build = |r: f64| {
+            let mut sim = PlaneFdtd::new(&Polygon::rectangle(mm(20.0), mm(20.0)), &pair, mm(1.0))
+                .unwrap()
+                .with_loss(r);
+            let p = sim
+                .add_port("p", Point::new(mm(5.0), mm(5.0)), 1e9)
+                .unwrap();
+            sim.drive_port(p, Waveform::pulse(0.0, 1.0, 0.0, 50e-12, 50e-12, 0.0));
+            sim.run(4e-9);
+            sim.field_energy()
+        };
+        let e_lossless = build(0.0);
+        let e_lossy = build(0.1);
+        assert!(e_lossy < 0.8 * e_lossless, "{e_lossy} vs {e_lossless}");
+    }
+
+    #[test]
+    fn matched_port_absorbs_reflection() {
+        // Strip line: drive one end; terminate the other with the strip's
+        // wave impedance Z = (d/w)·√(μ/ε); compare residual ringing
+        // against an open end.
+        let pair = PlanePair::new(0.5e-3, 1.0).unwrap();
+        let w = mm(4.0);
+        let z_strip = pair.separation / w * (pdn_num::phys::MU0 / pdn_num::phys::EPS0).sqrt();
+        let run_with = |r_term: f64| {
+            let shape = Polygon::rectangle(mm(60.0), w);
+            let mut sim = PlaneFdtd::new(&shape, &pair, mm(1.0)).unwrap();
+            let p_in = sim
+                .add_port("in", Point::new(mm(1.0), mm(2.0)), z_strip)
+                .unwrap();
+            let _ = sim
+                .add_port("out", Point::new(mm(59.0), mm(2.0)), r_term)
+                .unwrap();
+            sim.drive_port(p_in, Waveform::pulse(0.0, 1.0, 0.0, 30e-12, 30e-12, 60e-12));
+            // Long enough for the pulse to traverse and any reflection to
+            // come back.
+            sim.run(1.2e-9);
+            sim.field_energy()
+        };
+        let e_matched = run_with(z_strip);
+        let e_open = run_with(1e9);
+        // A single-cell lumped port cannot perfectly match a distributed
+        // wavefront, but it must absorb most of the energy.
+        assert!(
+            e_matched < 0.5 * e_open,
+            "matched termination absorbs: {e_matched} vs open {e_open}"
+        );
+    }
+
+    #[test]
+    fn port_off_plane_rejected() {
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let l_shape = Polygon::l_shape(mm(20.0), mm(20.0), mm(10.0), mm(10.0));
+        let mut sim = PlaneFdtd::new(&l_shape, &pair, mm(1.0)).unwrap();
+        // The notch corner is not conductor.
+        let err = sim
+            .add_port("bad", Point::new(mm(18.0), mm(18.0)), 50.0)
+            .unwrap_err();
+        assert!(matches!(err, BuildFdtdError::PortOffPlane { .. }));
+    }
+
+    #[test]
+    fn bad_grid_rejected() {
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        assert!(PlaneFdtd::new(&Polygon::rectangle(1.0, 1.0), &pair, 0.0).is_err());
+    }
+
+    #[test]
+    fn time_step_respects_cfl() {
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let sim = PlaneFdtd::new(&Polygon::rectangle(mm(10.0), mm(10.0)), &pair, mm(1.0))
+            .unwrap()
+            .with_time_step(1.0); // absurdly large: must clamp
+        let v = pair.phase_velocity();
+        let cfl = 1.0 / (v * (2.0f64).sqrt() / mm(1.0));
+        assert!(sim.dt() <= cfl * 1.0001);
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use pdn_geom::units::mm;
+
+    #[test]
+    fn voltage_map_masks_off_conductor_cells() {
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let l_shape = Polygon::l_shape(mm(10.0), mm(10.0), mm(5.0), mm(5.0));
+        let sim = PlaneFdtd::new(&l_shape, &pair, mm(1.0)).unwrap();
+        let (nx, ny, map) = sim.voltage_map();
+        assert_eq!((nx, ny), (10, 10));
+        // The notch quadrant is off-conductor.
+        let notch = map[9 * nx + 9];
+        assert!(notch.is_none());
+        let arm = map[0];
+        assert_eq!(arm, Some(0.0));
+        // 75 conductor cells (100 − 25 notch).
+        assert_eq!(map.iter().filter(|v| v.is_some()).count(), 75);
+    }
+
+    #[test]
+    fn peak_voltage_tracks_excitation() {
+        let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
+        let mut sim =
+            PlaneFdtd::new(&Polygon::rectangle(mm(10.0), mm(10.0)), &pair, mm(1.0)).unwrap();
+        assert_eq!(sim.peak_voltage(), 0.0);
+        let p = sim.add_port("p", Point::new(mm(5.0), mm(5.0)), 10.0).unwrap();
+        sim.drive_port(p, Waveform::step(1.0, 0.0));
+        sim.run(0.5e-9);
+        assert!(sim.peak_voltage() > 0.1);
+    }
+}

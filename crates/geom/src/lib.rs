@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Geometry, layer stackups, and plane meshing for the `pdn` toolkit.
+//!
+//! This crate models the *structures* of the DAC '98 paper: multilayer
+//! dielectric substrates embedded with arbitrarily shaped thin conductors
+//! (power/ground planes, split planes, traces), the ports/pins connecting
+//! them, and — most importantly — the **boundary-element discretization**
+//! of a plane shape into quadrilateral cells with the link (current) and
+//! cell (charge/potential) unknowns the MPIE formulation needs.
+//!
+//! # Examples
+//!
+//! Mesh a 40 × 30 mm rectangular power plane into 2 mm cells and bind two
+//! ports:
+//!
+//! ```
+//! use pdn_geom::{mesh::PlaneMesh, polygon::Polygon, units::mm, Point};
+//!
+//! # fn main() -> Result<(), pdn_geom::mesh::MeshPlaneError> {
+//! let shape = Polygon::rectangle(mm(40.0), mm(30.0));
+//! let mut mesh = PlaneMesh::build(&shape, mm(2.0))?;
+//! let p1 = mesh.bind_port("P1", Point::new(mm(5.0), mm(5.0)))?;
+//! let p2 = mesh.bind_port("P2", Point::new(mm(35.0), mm(25.0)))?;
+//! assert_ne!(mesh.port(p1).cell, mesh.port(p2).cell);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod mesh;
+pub mod point;
+pub mod polygon;
+pub mod stackup;
+pub mod units;
+
+pub use mesh::{Link, LinkDirection, PlaneMesh, PortBinding, PortId};
+pub use point::Point;
+pub use polygon::Polygon;
+pub use stackup::{DielectricLayer, PlanePair, Stackup};

@@ -1,0 +1,147 @@
+//! 2-D points in the plane of a conductor layer.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A point (or displacement vector) in a conductor plane, in meters.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_geom::Point;
+///
+/// let a = Point::new(3.0e-3, 0.0);
+/// let b = Point::new(0.0, 4.0e-3);
+/// assert!((a.distance(b) - 5.0e-3).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// x coordinate in meters.
+    pub x: f64,
+    /// y coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from coordinates in meters.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared distance (avoids the square root in hot loops).
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Vector length from the origin.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Dot product, treating both points as vectors.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// z component of the cross product, treating both points as vectors.
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Midpoint between two points.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, o: Point) -> Point {
+        Point::new(self.x + o.x, self.y + o.y)
+    }
+}
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, o: Point) -> Point {
+        Point::new(self.x - o.x, self.y - o.y)
+    }
+}
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, s: f64) -> Point {
+        Point::new(self.x * s, self.y * s)
+    }
+}
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4} mm, {:.4} mm)", self.x * 1e3, self.y * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_algebra() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let ex = Point::new(1.0, 0.0);
+        let ey = Point::new(0.0, 1.0);
+        assert_eq!(ex.dot(ey), 0.0);
+        assert_eq!(ex.cross(ey), 1.0);
+        assert_eq!(ey.cross(ex), -1.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(b.norm(), 5.0);
+        assert_eq!(a.midpoint(b), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn display_in_millimeters() {
+        let p = Point::new(0.001, 0.002);
+        assert_eq!(p.to_string(), "(1.0000 mm, 2.0000 mm)");
+    }
+}

@@ -1,0 +1,395 @@
+//! Conductor outlines: polygons with optional holes.
+//!
+//! Power/ground planes in real boards are rarely simple rectangles — they
+//! are split into voltage islands (the paper's Figure 1 shows complementary
+//! 3.3 V / 5 V nets), notched around connectors, and perforated by via
+//! anti-pads. A [`Polygon`] is a simple closed outline plus a list of hole
+//! outlines; containment tests drive the mesher.
+
+use crate::point::Point;
+use std::fmt;
+
+/// A closed polygon (outer boundary + holes) describing a conductor shape.
+///
+/// Vertices may wind in either direction; containment uses the even–odd
+/// rule, so holes simply flip parity.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_geom::{Point, Polygon};
+///
+/// let plate = Polygon::rectangle(0.04, 0.03)
+///     .with_hole(Polygon::rectangle_at(0.01, 0.01, 0.005, 0.005).into_outer());
+/// assert!(plate.contains(Point::new(0.002, 0.002)));
+/// assert!(!plate.contains(Point::new(0.012, 0.012))); // inside the hole
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    outer: Vec<Point>,
+    holes: Vec<Vec<Point>>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its outer boundary vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three vertices are given.
+    pub fn new(outer: Vec<Point>) -> Self {
+        assert!(outer.len() >= 3, "polygon needs at least 3 vertices");
+        Polygon {
+            outer,
+            holes: Vec::new(),
+        }
+    }
+
+    /// Axis-aligned rectangle with one corner at the origin.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let r = pdn_geom::Polygon::rectangle(0.02, 0.01);
+    /// assert!((r.area() - 2e-4).abs() < 1e-12);
+    /// ```
+    pub fn rectangle(width: f64, height: f64) -> Self {
+        Self::rectangle_at(0.0, 0.0, width, height)
+    }
+
+    /// Axis-aligned rectangle with its lower-left corner at `(x, y)`.
+    pub fn rectangle_at(x: f64, y: f64, width: f64, height: f64) -> Self {
+        Polygon::new(vec![
+            Point::new(x, y),
+            Point::new(x + width, y),
+            Point::new(x + width, y + height),
+            Point::new(x, y + height),
+        ])
+    }
+
+    /// An L-shaped plate: a `width × height` rectangle with the
+    /// `notch_w × notch_h` upper-right corner removed.
+    ///
+    /// This is the classic microstrip-patch verification shape of the
+    /// paper's Example 1 (after Mosig).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the notch is strictly smaller than the plate.
+    pub fn l_shape(width: f64, height: f64, notch_w: f64, notch_h: f64) -> Self {
+        assert!(
+            notch_w < width && notch_h < height,
+            "notch must be smaller than the plate"
+        );
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(width, 0.0),
+            Point::new(width, height - notch_h),
+            Point::new(width - notch_w, height - notch_h),
+            Point::new(width - notch_w, height),
+            Point::new(0.0, height),
+        ])
+    }
+
+    /// A regular `n`-gon of circumradius `r` centered at `center` —
+    /// handy for circular-ish pour approximations and via anti-pads.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 3` and `r > 0`.
+    pub fn regular(n: usize, r: f64, center: Point) -> Self {
+        assert!(n >= 3, "need at least 3 vertices");
+        assert!(r > 0.0, "radius must be positive");
+        let verts = (0..n)
+            .map(|k| {
+                let ang = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                Point::new(center.x + r * ang.cos(), center.y + r * ang.sin())
+            })
+            .collect();
+        Polygon::new(verts)
+    }
+
+    /// Rotates the polygon (outer ring and holes) about `pivot` by
+    /// `angle` radians, counter-clockwise.
+    pub fn rotated(&self, pivot: Point, angle: f64) -> Polygon {
+        let (s, c) = angle.sin_cos();
+        let rot = |v: Point| {
+            let dx = v.x - pivot.x;
+            let dy = v.y - pivot.y;
+            Point::new(pivot.x + c * dx - s * dy, pivot.y + s * dx + c * dy)
+        };
+        Polygon {
+            outer: self.outer.iter().copied().map(rot).collect(),
+            holes: self
+                .holes
+                .iter()
+                .map(|h| h.iter().copied().map(rot).collect())
+                .collect(),
+        }
+    }
+
+    /// Geometric centroid of the outer ring (area-weighted).
+    pub fn centroid(&self) -> Point {
+        let n = self.outer.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a2 = 0.0;
+        for i in 0..n {
+            let p = self.outer[i];
+            let q = self.outer[(i + 1) % n];
+            let w = p.cross(q);
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+            a2 += w;
+        }
+        if a2.abs() < f64::MIN_POSITIVE {
+            return self.outer[0];
+        }
+        Point::new(cx / (3.0 * a2), cy / (3.0 * a2))
+    }
+
+    /// Adds a hole (consuming and returning `self`, builder style).
+    pub fn with_hole(mut self, hole: Vec<Point>) -> Self {
+        assert!(hole.len() >= 3, "hole needs at least 3 vertices");
+        self.holes.push(hole);
+        self
+    }
+
+    /// Extracts the outer ring, discarding holes. Useful for building hole
+    /// rings out of helper rectangles.
+    pub fn into_outer(self) -> Vec<Point> {
+        self.outer
+    }
+
+    /// Outer boundary vertices.
+    pub fn outer(&self) -> &[Point] {
+        &self.outer
+    }
+
+    /// Hole boundaries.
+    pub fn holes(&self) -> &[Vec<Point>] {
+        &self.holes
+    }
+
+    /// Even–odd containment test (holes excluded from the interior).
+    ///
+    /// Points exactly on an edge may land on either side; the mesher only
+    /// ever tests cell centers, which it keeps away from edges.
+    pub fn contains(&self, p: Point) -> bool {
+        let mut inside = ray_cast(&self.outer, p);
+        for h in &self.holes {
+            if ray_cast(h, p) {
+                inside = !inside;
+            }
+        }
+        inside
+    }
+
+    /// Signed area of the outer ring minus hole areas (always returned
+    /// positive).
+    pub fn area(&self) -> f64 {
+        let outer = shoelace(&self.outer).abs();
+        let holes: f64 = self.holes.iter().map(|h| shoelace(h).abs()).sum();
+        (outer - holes).max(0.0)
+    }
+
+    /// Axis-aligned bounding box `(min, max)` of the outer ring.
+    pub fn bounding_box(&self) -> (Point, Point) {
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in &self.outer {
+            min.x = min.x.min(v.x);
+            min.y = min.y.min(v.y);
+            max.x = max.x.max(v.x);
+            max.y = max.y.max(v.y);
+        }
+        (min, max)
+    }
+
+    /// Translates the polygon (outer ring and holes) by `delta`.
+    pub fn translated(&self, delta: Point) -> Polygon {
+        Polygon {
+            outer: self.outer.iter().map(|&v| v + delta).collect(),
+            holes: self
+                .holes
+                .iter()
+                .map(|h| h.iter().map(|&v| v + delta).collect())
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Polygon({} vertices, {} holes, area {:.2} mm²)",
+            self.outer.len(),
+            self.holes.len(),
+            self.area() * 1e6
+        )
+    }
+}
+
+/// Even–odd ray casting against a single ring.
+fn ray_cast(ring: &[Point], p: Point) -> bool {
+    let mut inside = false;
+    let n = ring.len();
+    let mut j = n - 1;
+    for i in 0..n {
+        let (a, b) = (ring[i], ring[j]);
+        if (a.y > p.y) != (b.y > p.y) {
+            let x_int = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+            if p.x < x_int {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    inside
+}
+
+/// Shoelace signed area of a ring.
+fn shoelace(ring: &[Point]) -> f64 {
+    let n = ring.len();
+    let mut s = 0.0;
+    for i in 0..n {
+        let a = ring[i];
+        let b = ring[(i + 1) % n];
+        s += a.cross(b);
+    }
+    0.5 * s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangle_area_and_bbox() {
+        let r = Polygon::rectangle_at(1.0, 2.0, 3.0, 4.0);
+        assert!((r.area() - 12.0).abs() < 1e-12);
+        let (min, max) = r.bounding_box();
+        assert_eq!(min, Point::new(1.0, 2.0));
+        assert_eq!(max, Point::new(4.0, 6.0));
+    }
+
+    #[test]
+    fn containment_basic() {
+        let r = Polygon::rectangle(2.0, 1.0);
+        assert!(r.contains(Point::new(1.0, 0.5)));
+        assert!(!r.contains(Point::new(3.0, 0.5)));
+        assert!(!r.contains(Point::new(1.0, -0.1)));
+    }
+
+    #[test]
+    fn l_shape_contains_and_excludes_notch() {
+        let l = Polygon::l_shape(4.0, 3.0, 2.0, 1.0);
+        assert!(l.contains(Point::new(1.0, 2.5))); // left arm
+        assert!(l.contains(Point::new(3.0, 1.0))); // bottom arm
+        assert!(!l.contains(Point::new(3.0, 2.5))); // removed corner
+        assert!((l.area() - (4.0 * 3.0 - 2.0 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hole_excluded_from_interior_and_area() {
+        let p = Polygon::rectangle(10.0, 10.0)
+            .with_hole(Polygon::rectangle_at(4.0, 4.0, 2.0, 2.0).into_outer());
+        assert!(p.contains(Point::new(1.0, 1.0)));
+        assert!(!p.contains(Point::new(5.0, 5.0)));
+        assert!((p.area() - 96.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translated_shape_moves_with_holes() {
+        let p = Polygon::rectangle(2.0, 2.0)
+            .with_hole(Polygon::rectangle_at(0.5, 0.5, 1.0, 1.0).into_outer())
+            .translated(Point::new(10.0, 0.0));
+        assert!(p.contains(Point::new(10.1, 0.1)));
+        assert!(!p.contains(Point::new(11.0, 1.0))); // hole center
+        assert!(!p.contains(Point::new(1.0, 1.0))); // original location
+    }
+
+    #[test]
+    fn concave_polygon_ray_cast() {
+        // A "U" shape.
+        let u = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 3.0),
+            Point::new(2.0, 3.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 3.0),
+            Point::new(0.0, 3.0),
+        ]);
+        assert!(u.contains(Point::new(0.5, 2.0))); // left arm
+        assert!(u.contains(Point::new(2.5, 2.0))); // right arm
+        assert!(!u.contains(Point::new(1.5, 2.0))); // gap
+        assert!(u.contains(Point::new(1.5, 0.5))); // base
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 vertices")]
+    fn degenerate_polygon_panics() {
+        let _ = Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)]);
+    }
+}
+
+#[cfg(test)]
+mod shape_helper_tests {
+    use super::*;
+
+    #[test]
+    fn regular_polygon_area_converges_to_circle() {
+        let r = 2.0;
+        let hexagon = Polygon::regular(6, r, Point::ORIGIN);
+        let many = Polygon::regular(256, r, Point::ORIGIN);
+        let circle = std::f64::consts::PI * r * r;
+        assert!((hexagon.area() - 1.5 * 3.0f64.sqrt() * r * r).abs() < 1e-12);
+        assert!((many.area() - circle).abs() / circle < 1e-3);
+    }
+
+    #[test]
+    fn regular_polygon_contains_center() {
+        let p = Polygon::regular(5, 1.0, Point::new(3.0, 4.0));
+        assert!(p.contains(Point::new(3.0, 4.0)));
+        assert!(!p.contains(Point::new(5.0, 4.0)));
+    }
+
+    #[test]
+    fn rotation_preserves_area_and_containment() {
+        let rect = Polygon::rectangle(4.0, 2.0);
+        let rot = rect.rotated(Point::new(2.0, 1.0), std::f64::consts::FRAC_PI_2);
+        assert!((rot.area() - rect.area()).abs() < 1e-12);
+        // The center stays inside; a point near the old long edge leaves.
+        assert!(rot.contains(Point::new(2.0, 1.0)));
+        assert!(!rot.contains(Point::new(3.8, 1.0)));
+        assert!(rot.contains(Point::new(2.0, 2.5)));
+    }
+
+    #[test]
+    fn centroid_of_rectangle_is_its_center() {
+        let r = Polygon::rectangle_at(1.0, 2.0, 4.0, 6.0);
+        let c = r.centroid();
+        assert!((c.x - 3.0).abs() < 1e-12);
+        assert!((c.y - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotated_l_shape_meshes() {
+        use crate::mesh::PlaneMesh;
+        use crate::units::mm;
+        let l = Polygon::l_shape(mm(8.0), mm(8.0), mm(4.0), mm(4.0))
+            .rotated(Point::new(mm(4.0), mm(4.0)), 0.3);
+        let mesh = PlaneMesh::build(&l, mm(1.0)).expect("meshable");
+        let covered = mesh.cell_area() * mesh.cell_count() as f64;
+        // Rasterization tracks the rotated area within a few percent.
+        assert!((covered - l.area()).abs() / l.area() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn regular_zero_radius_panics() {
+        let _ = Polygon::regular(6, 0.0, Point::ORIGIN);
+    }
+}

@@ -1,0 +1,314 @@
+//! Layer stackups and plane-pair descriptions.
+//!
+//! The MPIE formulation treats the board as a multilayer dielectric with
+//! embedded thin conductors. For the power-distribution problem the
+//! electrically dominant object is a **plane pair**: a power plane facing a
+//! ground plane across a thin dielectric. [`PlanePair`] captures the three
+//! numbers that set its electromagnetics — separation, permittivity, and
+//! conductor sheet resistance — and derives the per-area capacitance and
+//! per-square inductance used throughout the solvers.
+
+use pdn_num::phys::{EPS0, MU0};
+use std::error::Error;
+use std::fmt;
+
+/// A dielectric layer in the stackup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DielectricLayer {
+    /// Layer thickness in meters.
+    pub thickness: f64,
+    /// Relative permittivity.
+    pub eps_r: f64,
+    /// Loss tangent (used by the frequency-domain solvers; 0 = lossless).
+    pub loss_tangent: f64,
+}
+
+impl DielectricLayer {
+    /// Creates a lossless dielectric layer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pdn_geom::DielectricLayer;
+    /// let fr4 = DielectricLayer::new(0.2e-3, 4.5);
+    /// assert_eq!(fr4.eps_r, 4.5);
+    /// ```
+    pub fn new(thickness: f64, eps_r: f64) -> Self {
+        DielectricLayer {
+            thickness,
+            eps_r,
+            loss_tangent: 0.0,
+        }
+    }
+
+    /// Sets the loss tangent (builder style).
+    pub fn with_loss_tangent(mut self, tan_d: f64) -> Self {
+        self.loss_tangent = tan_d;
+        self
+    }
+}
+
+/// Error from validating a [`PlanePair`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidPlanePairError {
+    what: &'static str,
+    value: f64,
+}
+
+impl fmt::Display for InvalidPlanePairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid plane pair: {} must be positive, got {}",
+            self.what, self.value
+        )
+    }
+}
+
+impl Error for InvalidPlanePairError {}
+
+/// A power/ground plane pair: the primary EM structure of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_geom::PlanePair;
+/// # fn main() -> Result<(), pdn_geom::stackup::InvalidPlanePairError> {
+/// // The HP Labs test plane: 280 µm alumina, εr = 9.6, 6 mΩ/sq tungsten.
+/// let pair = PlanePair::new(280e-6, 9.6)?.with_sheet_resistance(6e-3);
+/// assert!(pair.capacitance_per_area() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanePair {
+    /// Dielectric separation between the planes, meters.
+    pub separation: f64,
+    /// Relative permittivity of the separating dielectric.
+    pub eps_r: f64,
+    /// Sheet resistance of each conductor, Ω/square (both planes combined
+    /// in series along the current loop).
+    pub sheet_resistance: f64,
+    /// Dielectric loss tangent.
+    pub loss_tangent: f64,
+}
+
+impl PlanePair {
+    /// Creates a lossless plane pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both `separation` and `eps_r` are positive.
+    pub fn new(separation: f64, eps_r: f64) -> Result<Self, InvalidPlanePairError> {
+        if !(separation > 0.0) {
+            return Err(InvalidPlanePairError {
+                what: "separation",
+                value: separation,
+            });
+        }
+        if !(eps_r > 0.0) {
+            return Err(InvalidPlanePairError {
+                what: "eps_r",
+                value: eps_r,
+            });
+        }
+        Ok(PlanePair {
+            separation,
+            eps_r,
+            sheet_resistance: 0.0,
+            loss_tangent: 0.0,
+        })
+    }
+
+    /// Sets the conductor sheet resistance in Ω/square (builder style).
+    pub fn with_sheet_resistance(mut self, r_sq: f64) -> Self {
+        self.sheet_resistance = r_sq;
+        self
+    }
+
+    /// Sets the dielectric loss tangent (builder style).
+    pub fn with_loss_tangent(mut self, tan_d: f64) -> Self {
+        self.loss_tangent = tan_d;
+        self
+    }
+
+    /// Parallel-plate capacitance per unit area, `ε/d` in F/m².
+    pub fn capacitance_per_area(&self) -> f64 {
+        EPS0 * self.eps_r / self.separation
+    }
+
+    /// Plane-pair inductance per square, `μ·d` in H (per square of current
+    /// sheet).
+    pub fn inductance_per_square(&self) -> f64 {
+        MU0 * self.separation
+    }
+
+    /// TEM wave phase velocity between the planes, m/s.
+    pub fn phase_velocity(&self) -> f64 {
+        1.0 / (self.capacitance_per_area() * self.inductance_per_square()).sqrt()
+    }
+
+    /// Characteristic "plane impedance" per square, `√(μd / (ε/d)·d²)`
+    /// reduced to `√(L_sq / C_a)` with units Ω·m; dividing by a width gives
+    /// the wave impedance seen by a front of that width.
+    pub fn wave_impedance_per_square(&self) -> f64 {
+        (self.inductance_per_square() / self.capacitance_per_area()).sqrt()
+    }
+
+    /// First rectangular-cavity resonance `f₁₀ = v / (2a)` of an `a × b`
+    /// plane pair (the longer dimension dominates).
+    ///
+    /// Used as an analytic cross-check against the extracted circuits.
+    pub fn cavity_resonance(&self, a: f64, b: f64, m: u32, n: u32) -> f64 {
+        let v = self.phase_velocity();
+        0.5 * v * ((m as f64 / a).powi(2) + (n as f64 / b).powi(2)).sqrt()
+    }
+}
+
+/// A full board stackup: ordered dielectric layers with named conductor
+/// layers between them.
+///
+/// The extraction flow only needs the plane pairs, but keeping the complete
+/// stackup lets `pdn-core` describe six-layer boards the way designers do.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Stackup {
+    layers: Vec<DielectricLayer>,
+    conductor_names: Vec<String>,
+}
+
+impl Stackup {
+    /// Creates an empty stackup.
+    pub fn new() -> Self {
+        Stackup::default()
+    }
+
+    /// Appends a conductor layer (named) followed by a dielectric layer
+    /// below it.
+    pub fn add_layer(&mut self, conductor_name: impl Into<String>, below: DielectricLayer) {
+        self.conductor_names.push(conductor_name.into());
+        self.layers.push(below);
+    }
+
+    /// Number of conductor layers.
+    pub fn conductor_count(&self) -> usize {
+        self.conductor_names.len()
+    }
+
+    /// Conductor layer names, top to bottom.
+    pub fn conductor_names(&self) -> &[String] {
+        &self.conductor_names
+    }
+
+    /// Dielectric layers, top to bottom.
+    pub fn dielectrics(&self) -> &[DielectricLayer] {
+        &self.layers
+    }
+
+    /// Total stackup thickness (sum of dielectric thicknesses).
+    pub fn total_thickness(&self) -> f64 {
+        self.layers.iter().map(|l| l.thickness).sum()
+    }
+
+    /// Builds the [`PlanePair`] between adjacent conductor layers `i` and
+    /// `i + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i + 1` is not a valid conductor index.
+    pub fn plane_pair(&self, i: usize) -> PlanePair {
+        assert!(
+            i + 1 < self.conductor_count(),
+            "no conductor layer below index {i}"
+        );
+        let d = self.layers[i];
+        PlanePair::new(d.thickness, d.eps_r)
+            .expect("stackup dielectric layers are validated on entry")
+            .with_loss_tangent(d.loss_tangent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_num::approx_eq;
+    use pdn_num::phys::C0;
+
+    #[test]
+    fn plane_pair_derived_quantities() {
+        let p = PlanePair::new(1e-3, 4.0).unwrap();
+        // v = c0/2 in εr = 4.
+        assert!(approx_eq(p.phase_velocity(), C0 / 2.0, 1e-6));
+        // C_a = ε0·4/1mm
+        assert!(approx_eq(p.capacitance_per_area(), EPS0 * 4.0 / 1e-3, 1e-12));
+        assert!(approx_eq(p.inductance_per_square(), MU0 * 1e-3, 1e-18));
+    }
+
+    #[test]
+    fn cavity_resonance_formula() {
+        let p = PlanePair::new(0.5e-3, 1.0).unwrap();
+        // 10 cm plane in air: f10 = c0/(2*0.1) = 1.499 GHz.
+        let f = p.cavity_resonance(0.1, 0.05, 1, 0);
+        assert!(approx_eq(f, C0 / 0.2, 1e-6));
+        // (1,1) mode is higher than both (1,0) and (0,1).
+        assert!(p.cavity_resonance(0.1, 0.05, 1, 1) > p.cavity_resonance(0.1, 0.05, 0, 1));
+    }
+
+    #[test]
+    fn invalid_plane_pair_rejected() {
+        assert!(PlanePair::new(0.0, 4.0).is_err());
+        assert!(PlanePair::new(1e-3, -1.0).is_err());
+        let e = PlanePair::new(-1e-3, 4.0).unwrap_err();
+        assert!(e.to_string().contains("separation"));
+    }
+
+    #[test]
+    fn stackup_accumulates_layers() {
+        let mut s = Stackup::new();
+        s.add_layer("TOP", DielectricLayer::new(0.2e-3, 4.5));
+        s.add_layer("VCC", DielectricLayer::new(0.762e-3, 4.5)); // 30 mil
+        s.add_layer("GND", DielectricLayer::new(0.2e-3, 4.5));
+        s.add_layer("BOTTOM", DielectricLayer::new(0.0, 1.0));
+        assert_eq!(s.conductor_count(), 4);
+        assert!(approx_eq(s.total_thickness(), 1.162e-3, 1e-9));
+        let pair = s.plane_pair(1);
+        assert!(approx_eq(pair.separation, 0.762e-3, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "no conductor layer below")]
+    fn plane_pair_out_of_range_panics() {
+        let mut s = Stackup::new();
+        s.add_layer("L1", DielectricLayer::new(1e-3, 4.0));
+        let _ = s.plane_pair(0); // only one conductor layer
+    }
+
+    #[test]
+    fn loss_tangent_builder() {
+        let d = DielectricLayer::new(1e-3, 4.2).with_loss_tangent(0.02);
+        assert_eq!(d.loss_tangent, 0.02);
+        let p = PlanePair::new(1e-3, 4.2).unwrap().with_loss_tangent(0.02);
+        assert_eq!(p.loss_tangent, 0.02);
+    }
+}
+
+#[cfg(test)]
+mod stackup_extra_tests {
+    use super::*;
+
+    #[test]
+    fn conductor_names_ordered() {
+        let mut s = Stackup::new();
+        s.add_layer("TOP", DielectricLayer::new(0.2e-3, 4.5));
+        s.add_layer("GND", DielectricLayer::new(0.3e-3, 4.5));
+        assert_eq!(s.conductor_names(), ["TOP".to_string(), "GND".to_string()]);
+        assert_eq!(s.dielectrics().len(), 2);
+    }
+
+    #[test]
+    fn wave_impedance_per_square_consistent() {
+        let p = PlanePair::new(1e-3, 1.0).unwrap();
+        // √(μd / (ε/d)) = d·η0 for air.
+        let expect = 1e-3 * pdn_num::phys::ETA0;
+        assert!((p.wave_impedance_per_square() - expect).abs() / expect < 1e-6);
+    }
+}

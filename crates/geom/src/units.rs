@@ -1,0 +1,134 @@
+//! Unit conversions.
+//!
+//! Everything inside the toolkit is SI (meters, seconds, henries, farads).
+//! PCB design data arrives in mils and inches, package data in millimeters
+//! and microns; these helpers convert *into* meters at the API boundary.
+
+/// Converts millimeters to meters.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pdn_geom::units::mm(2.5), 0.0025);
+/// ```
+#[inline]
+pub fn mm(v: f64) -> f64 {
+    v * 1e-3
+}
+
+/// Converts micrometers to meters.
+#[inline]
+pub fn um(v: f64) -> f64 {
+    v * 1e-6
+}
+
+/// Converts centimeters to meters.
+#[inline]
+pub fn cm(v: f64) -> f64 {
+    v * 1e-2
+}
+
+/// Converts inches to meters (1 in = 25.4 mm).
+///
+/// # Examples
+///
+/// ```
+/// assert!((pdn_geom::units::inch(1.0) - 0.0254).abs() < 1e-15);
+/// ```
+#[inline]
+pub fn inch(v: f64) -> f64 {
+    v * 0.0254
+}
+
+/// Converts mils (thousandths of an inch) to meters.
+///
+/// # Examples
+///
+/// ```
+/// // A 30 mil plane separation is 0.762 mm.
+/// assert!((pdn_geom::units::mil(30.0) - 0.762e-3).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn mil(v: f64) -> f64 {
+    v * 25.4e-6
+}
+
+/// Converts nanoseconds to seconds.
+#[inline]
+pub fn ns(v: f64) -> f64 {
+    v * 1e-9
+}
+
+/// Converts picoseconds to seconds.
+#[inline]
+pub fn ps(v: f64) -> f64 {
+    v * 1e-12
+}
+
+/// Converts gigahertz to hertz.
+#[inline]
+pub fn ghz(v: f64) -> f64 {
+    v * 1e9
+}
+
+/// Converts megahertz to hertz.
+#[inline]
+pub fn mhz(v: f64) -> f64 {
+    v * 1e6
+}
+
+/// Converts nanohenries to henries.
+#[inline]
+pub fn nh(v: f64) -> f64 {
+    v * 1e-9
+}
+
+/// Converts picofarads to farads.
+#[inline]
+pub fn pf(v: f64) -> f64 {
+    v * 1e-12
+}
+
+/// Converts nanofarads to farads.
+#[inline]
+pub fn nf(v: f64) -> f64 {
+    v * 1e-9
+}
+
+/// Converts microfarads to farads.
+#[inline]
+pub fn uf(v: f64) -> f64 {
+    v * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_chain() {
+        assert_eq!(mm(1000.0), 1.0);
+        assert_eq!(um(1_000_000.0), 1.0);
+        assert_eq!(cm(100.0), 1.0);
+    }
+
+    #[test]
+    fn imperial_chain() {
+        assert!((inch(1.0) - mil(1000.0)).abs() < 1e-15);
+        assert!((mil(10.0) - um(254.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn time_and_frequency() {
+        assert_eq!(ns(1.0), 1e-9);
+        assert_eq!(ps(1000.0), ns(1.0));
+        assert_eq!(ghz(1.0), mhz(1000.0));
+    }
+
+    #[test]
+    fn reactive_units() {
+        assert_eq!(nh(1.0), 1e-9);
+        assert!((pf(1000.0) - nf(1.0)).abs() < 1e-24);
+        assert!((nf(1000.0) - uf(1.0)).abs() < 1e-21);
+    }
+}

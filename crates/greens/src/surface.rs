@@ -1,0 +1,200 @@
+//! Conductor surface-impedance models.
+//!
+//! The paper characterizes lossy conductors by their surface impedance `Zs`
+//! (the impedance boundary condition of eq. 3) and uses the DC sheet
+//! resistance as the first-order low-frequency term (eq. 13). This module
+//! provides that model plus an optional √f skin-effect correction for
+//! frequency-domain sweeps.
+
+use pdn_num::phys::{skin_depth, MU0};
+
+/// Surface impedance of a thin conductor sheet.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_greens::SurfaceImpedance;
+///
+/// // The HP test plane: 6 mΩ/sq tungsten.
+/// let zs = SurfaceImpedance::from_sheet_resistance(6e-3);
+/// assert_eq!(zs.resistance(0.0), 6e-3);
+///
+/// // A 35 µm copper foil with skin effect.
+/// let cu = SurfaceImpedance::from_conductor(5.8e7, 35e-6);
+/// assert!(cu.resistance(10e9) > cu.resistance(0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfaceImpedance {
+    r_dc: f64,
+    skin: Option<Skin>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Skin {
+    conductivity: f64,
+    thickness: f64,
+}
+
+impl SurfaceImpedance {
+    /// A lossless (perfect) conductor.
+    pub fn lossless() -> Self {
+        SurfaceImpedance {
+            r_dc: 0.0,
+            skin: None,
+        }
+    }
+
+    /// Builds the model from a DC sheet resistance in Ω/square with no
+    /// skin-effect correction (the paper's quasi-static choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_sq` is negative.
+    pub fn from_sheet_resistance(r_sq: f64) -> Self {
+        assert!(r_sq >= 0.0, "sheet resistance must be non-negative");
+        SurfaceImpedance {
+            r_dc: r_sq,
+            skin: None,
+        }
+    }
+
+    /// Builds the model from bulk conductivity (S/m) and foil thickness
+    /// (m); enables the skin-effect correction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive.
+    pub fn from_conductor(conductivity: f64, thickness: f64) -> Self {
+        assert!(
+            conductivity > 0.0 && thickness > 0.0,
+            "conductivity and thickness must be positive"
+        );
+        SurfaceImpedance {
+            r_dc: 1.0 / (conductivity * thickness),
+            skin: Some(Skin {
+                conductivity,
+                thickness,
+            }),
+        }
+    }
+
+    /// DC sheet resistance, Ω/square.
+    pub fn dc_resistance(&self) -> f64 {
+        self.r_dc
+    }
+
+    /// Surface resistance at frequency `f` (Hz), Ω/square.
+    ///
+    /// Without a conductor model this is frequency independent; with one,
+    /// it transitions to `1/(σδ)` once the skin depth drops below the foil
+    /// thickness.
+    pub fn resistance(&self, f: f64) -> f64 {
+        match self.skin {
+            None => self.r_dc,
+            Some(s) => {
+                if f <= 0.0 {
+                    return self.r_dc;
+                }
+                let delta = skin_depth(f, s.conductivity);
+                if delta >= s.thickness {
+                    self.r_dc
+                } else {
+                    1.0 / (s.conductivity * delta)
+                }
+            }
+        }
+    }
+
+    /// Internal (surface) inductance per square at frequency `f`, H/square.
+    ///
+    /// In the skin-effect regime the surface reactance equals the surface
+    /// resistance, giving `L_int = R_s/(2πf)`; negligible below the skin
+    /// transition.
+    pub fn internal_inductance(&self, f: f64) -> f64 {
+        match self.skin {
+            None => 0.0,
+            Some(s) => {
+                if f <= 0.0 {
+                    return 0.0;
+                }
+                let delta = skin_depth(f, s.conductivity);
+                if delta >= s.thickness {
+                    // Below transition: roughly μ·t/3 internal inductance of
+                    // a uniform current sheet — tiny; report the DC value.
+                    MU0 * s.thickness / 3.0
+                } else {
+                    self.resistance(f) / (2.0 * std::f64::consts::PI * f)
+                }
+            }
+        }
+    }
+}
+
+impl Default for SurfaceImpedance {
+    fn default() -> Self {
+        Self::lossless()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_num::approx_eq;
+    use pdn_num::phys::SIGMA_COPPER;
+
+    #[test]
+    fn lossless_is_zero_everywhere() {
+        let z = SurfaceImpedance::lossless();
+        assert_eq!(z.resistance(0.0), 0.0);
+        assert_eq!(z.resistance(10e9), 0.0);
+        assert_eq!(z.internal_inductance(1e9), 0.0);
+    }
+
+    #[test]
+    fn sheet_resistance_flat_in_frequency() {
+        let z = SurfaceImpedance::from_sheet_resistance(6e-3);
+        assert_eq!(z.resistance(0.0), 6e-3);
+        assert_eq!(z.resistance(20e9), 6e-3);
+    }
+
+    #[test]
+    fn conductor_dc_value() {
+        // 35 µm copper: R_dc = 1/(5.8e7 · 35e-6) ≈ 0.49 mΩ/sq.
+        let z = SurfaceImpedance::from_conductor(SIGMA_COPPER, 35e-6);
+        assert!(approx_eq(z.dc_resistance(), 4.926e-4, 1e-3));
+        assert_eq!(z.resistance(0.0), z.dc_resistance());
+    }
+
+    #[test]
+    fn skin_effect_sqrt_f_regime() {
+        let z = SurfaceImpedance::from_conductor(SIGMA_COPPER, 35e-6);
+        // Well above the transition, R ∝ √f.
+        let r1 = z.resistance(1e9);
+        let r4 = z.resistance(4e9);
+        assert!(approx_eq(r4 / r1, 2.0, 1e-6));
+        assert!(r1 > z.dc_resistance());
+    }
+
+    #[test]
+    fn transition_is_continuous_enough() {
+        let z = SurfaceImpedance::from_conductor(SIGMA_COPPER, 35e-6);
+        // Transition frequency where δ = t: f = 1/(π μ σ t²).
+        let ft = 1.0 / (std::f64::consts::PI * MU0 * SIGMA_COPPER * 35e-6_f64.powi(2));
+        let below = z.resistance(ft * 0.99);
+        let above = z.resistance(ft * 1.01);
+        assert!(approx_eq(below, above, 0.02));
+    }
+
+    #[test]
+    fn internal_inductance_positive_in_skin_regime() {
+        let z = SurfaceImpedance::from_conductor(SIGMA_COPPER, 35e-6);
+        let l = z.internal_inductance(10e9);
+        assert!(l > 0.0 && l < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sheet_resistance_panics() {
+        let _ = SurfaceImpedance::from_sheet_resistance(-1.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Preconditioned conjugate-gradient solver for symmetric
+//! positive-definite systems.
+//!
+//! The direct LU/Cholesky factorizations serve every extraction in this
+//! toolkit comfortably; CG exists for the scaling path — meshes with many
+//! thousands of cells where `O(n³)` factorization becomes the bottleneck
+//! but the SPD matrices (potential coefficients, inductance) remain well
+//! conditioned after Jacobi scaling.
+
+use crate::{Matrix, Vector};
+use std::error::Error;
+use std::fmt;
+
+/// Error from an iterative solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IterativeSolveError {
+    /// The matrix is not square or sizes mismatch.
+    BadShape,
+    /// The iteration hit its limit before reaching the tolerance.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final relative residual.
+        residual: f64,
+    },
+    /// A breakdown (zero curvature) occurred — the matrix is not SPD.
+    Breakdown,
+}
+
+impl fmt::Display for IterativeSolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IterativeSolveError::BadShape => write!(f, "matrix/vector shape mismatch"),
+            IterativeSolveError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "CG did not converge in {iterations} iterations (residual {residual:.3e})"
+            ),
+            IterativeSolveError::Breakdown => {
+                write!(f, "CG breakdown: matrix is not positive definite")
+            }
+        }
+    }
+}
+
+impl Error for IterativeSolveError {}
+
+/// Solves `A·x = b` for symmetric positive-definite `A` with
+/// Jacobi-preconditioned conjugate gradients.
+///
+/// Stops when the residual 2-norm falls below `tol · ‖b‖` or after
+/// `max_iter` iterations.
+///
+/// # Errors
+///
+/// Returns [`IterativeSolveError`] on shape mismatch, non-convergence, or
+/// an indefinite matrix.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_num::{cg::solve_spd, Matrix};
+///
+/// # fn main() -> Result<(), pdn_num::cg::IterativeSolveError> {
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+/// let x = solve_spd(&a, &[1.0, 2.0], 1e-12, 100)?;
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_spd(
+    a: &Matrix<f64>,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<Vector<f64>, IterativeSolveError> {
+    if !a.is_square() || a.nrows() != b.len() {
+        return Err(IterativeSolveError::BadShape);
+    }
+    let n = b.len();
+    // Jacobi preconditioner M⁻¹ = diag(A)⁻¹.
+    let m_inv: Vec<f64> = (0..n)
+        .map(|i| {
+            let d = a[(i, i)];
+            if d > 0.0 {
+                1.0 / d
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let b_norm = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if b_norm == 0.0 {
+        return Ok(vec![0.0; n]);
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z: Vec<f64> = r.iter().zip(&m_inv).map(|(ri, mi)| ri * mi).collect();
+    let mut p = z.clone();
+    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    for it in 0..max_iter {
+        let ap = a.matvec(&p);
+        let p_ap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if p_ap <= 0.0 {
+            return Err(IterativeSolveError::Breakdown);
+        }
+        let alpha = rz / p_ap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let r_norm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if r_norm <= tol * b_norm {
+            return Ok(x);
+        }
+        for i in 0..n {
+            z[i] = r[i] * m_inv[i];
+        }
+        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+        if it + 1 == max_iter {
+            return Err(IterativeSolveError::NotConverged {
+                iterations: max_iter,
+                residual: r_norm / b_norm,
+            });
+        }
+    }
+    Err(IterativeSolveError::NotConverged {
+        iterations: max_iter,
+        residual: 1.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn spd(n: usize) -> Matrix<f64> {
+        let m = Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 3) % 13) as f64 / 13.0);
+        let mut a = m.transpose().matmul(&m);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn matches_direct_solve() {
+        let a = spd(30);
+        let b: Vec<f64> = (0..30).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x_cg = solve_spd(&a, &b, 1e-12, 500).unwrap();
+        let x_lu = crate::lu::solve(a.clone(), &b).unwrap();
+        for i in 0..30 {
+            assert!(approx_eq(x_cg[i], x_lu[i], 1e-8), "entry {i}");
+        }
+    }
+
+    #[test]
+    fn exact_in_n_iterations_for_small_systems() {
+        // CG converges in at most n iterations in exact arithmetic.
+        let a = spd(5);
+        let b = vec![1.0; 5];
+        let x = solve_spd(&a, &b, 1e-12, 10).unwrap();
+        let r: f64 = a
+            .matvec(&x)
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        assert!(r < 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero() {
+        let a = spd(4);
+        let x = solve_spd(&a, &[0.0; 4], 1e-12, 10).unwrap();
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn indefinite_matrix_breaks_down() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+        assert!(matches!(
+            solve_spd(&a, &[1.0, 1.0], 1e-12, 10),
+            Err(IterativeSolveError::Breakdown)
+        ));
+    }
+
+    #[test]
+    fn iteration_cap_reported() {
+        // An ill-conditioned SPD system with a tiny iteration budget.
+        let mut a = spd(20);
+        a[(0, 0)] += 1e9;
+        match solve_spd(&a, &vec![1.0; 20], 1e-14, 2) {
+            Err(IterativeSolveError::NotConverged { iterations, .. }) => {
+                assert_eq!(iterations, 2);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = spd(3);
+        assert_eq!(
+            solve_spd(&a, &[1.0, 2.0], 1e-9, 10).unwrap_err(),
+            IterativeSolveError::BadShape
+        );
+    }
+
+    #[test]
+    fn solves_bem_style_potential_matrix() {
+        // A potential-coefficient-like matrix: diagonally dominant with
+        // 1/distance off-diagonal decay.
+        let n = 64;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                10.0
+            } else {
+                1.0 / (i as f64 - j as f64).abs()
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| if i == 7 { 1.0 } else { 0.0 }).collect();
+        let x = solve_spd(&a, &b, 1e-10, 300).unwrap();
+        let r: f64 = a
+            .matvec(&x)
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        assert!(r < 1e-8);
+    }
+}

@@ -1,0 +1,255 @@
+//! Cholesky factorization of symmetric positive-definite real matrices.
+//!
+//! Capacitance and inductance matrices produced by the quasi-static BEM are
+//! symmetric positive definite; Cholesky is both the cheapest solver for them
+//! and a *validity check* — a failed factorization flags a non-physical
+//! extraction. It also underpins the generalized symmetric-definite
+//! eigensolver used for transmission-line modal analysis.
+
+use crate::{Matrix, SolveMatrixError, Vector};
+
+/// A Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_num::{CholeskyDecomposition, Matrix};
+///
+/// # fn main() -> Result<(), pdn_num::SolveMatrixError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = CholeskyDecomposition::new(&a)?;
+/// let x = ch.solve(&[1.0, 1.0])?;
+/// assert!((4.0 * x[0] + 2.0 * x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyDecomposition {
+    l: Matrix<f64>,
+}
+
+impl CholeskyDecomposition {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read, so slight asymmetry from
+    /// floating-point assembly noise is tolerated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveMatrixError::NotSquare`] for non-square input and
+    /// [`SolveMatrixError::Singular`] when the matrix is not positive
+    /// definite.
+    pub fn new(a: &Matrix<f64>) -> Result<Self, SolveMatrixError> {
+        if !a.is_square() {
+            return Err(SolveMatrixError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(SolveMatrixError::Singular { column: j });
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        Ok(CholeskyDecomposition { l })
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix<f64> {
+        &self.l
+    }
+
+    /// Solves `A·x = b` via two triangular solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveMatrixError::DimensionMismatch`] for a wrong-length
+    /// right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vector<f64>, SolveMatrixError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SolveMatrixError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
+        }
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `L·y = b` (forward substitution only).
+    ///
+    /// Needed by the generalized eigensolver to form `L⁻¹ A L⁻ᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveMatrixError::DimensionMismatch`] for a wrong-length
+    /// right-hand side.
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vector<f64>, SolveMatrixError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SolveMatrixError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
+        }
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `Lᵀ·x = b` (backward substitution only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveMatrixError::DimensionMismatch`] for a wrong-length
+    /// right-hand side.
+    pub fn solve_upper(&self, b: &[f64]) -> Result<Vector<f64>, SolveMatrixError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SolveMatrixError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
+        }
+        let mut x = b.to_vec();
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A` (twice the log-sum of the diagonal of `L`).
+    pub fn log_det(&self) -> f64 {
+        2.0 * (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>()
+    }
+}
+
+/// Returns `true` when the symmetric matrix is positive definite.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_num::Matrix;
+/// let spd = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// assert!(pdn_num::cholesky::is_positive_definite(&spd));
+/// let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+/// assert!(!pdn_num::cholesky::is_positive_definite(&indef));
+/// ```
+pub fn is_positive_definite(a: &Matrix<f64>) -> bool {
+    CholeskyDecomposition::new(a).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn spd(n: usize) -> Matrix<f64> {
+        // A = Mᵀ M + n·I is SPD for any M.
+        let m = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 11) as f64 / 11.0);
+        let mut a = m.transpose().matmul(&m);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd(6);
+        let ch = CholeskyDecomposition::new(&a).unwrap();
+        let back = ch.l().matmul(&ch.l().transpose());
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!(approx_eq(back[(i, j)], a[(i, j)], 1e-11));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = spd(8);
+        let b: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+        let x_ch = CholeskyDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        let x_lu = crate::lu::solve(a, &b).unwrap();
+        for i in 0..8 {
+            assert!(approx_eq(x_ch[i], x_lu[i], 1e-10));
+        }
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!(matches!(
+            CholeskyDecomposition::new(&a),
+            Err(SolveMatrixError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn triangular_solves_compose() {
+        let a = spd(5);
+        let ch = CholeskyDecomposition::new(&a).unwrap();
+        let b: Vec<f64> = (0..5).map(|i| i as f64 + 1.0).collect();
+        let y = ch.solve_lower(&b).unwrap();
+        let x = ch.solve_upper(&y).unwrap();
+        let direct = ch.solve(&b).unwrap();
+        for i in 0..5 {
+            assert!(approx_eq(x[i], direct[i], 1e-12));
+        }
+    }
+
+    #[test]
+    fn log_det_matches_lu_det() {
+        let a = spd(4);
+        let ch = CholeskyDecomposition::new(&a).unwrap();
+        let det = crate::LuDecomposition::new(a).unwrap().det();
+        assert!(approx_eq(ch.log_det(), det.ln(), 1e-10));
+    }
+}

@@ -1,0 +1,399 @@
+//! A double-precision complex number type.
+//!
+//! The type is named [`c64`] to mirror the common numerics convention
+//! (`f64` → `c64`). It is a plain `Copy` value type with the full set of
+//! arithmetic operators, the elementary functions needed by frequency-domain
+//! circuit analysis (`exp`, `sqrt`, `ln`), and polar helpers.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_num::c64;
+///
+/// let z = c64::new(3.0, 4.0);
+/// assert_eq!(z.norm(), 5.0);
+/// assert_eq!((z * z.conj()).re, 25.0);
+/// ```
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct c64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl c64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: c64 = c64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: c64 = c64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: c64 = c64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let z = pdn_num::c64::new(1.0, -2.0);
+    /// assert_eq!(z.im, -2.0);
+    /// ```
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        c64 { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number.
+    #[inline]
+    pub const fn from_im(im: f64) -> Self {
+        c64 { re: 0.0, im }
+    }
+
+    /// Creates a complex number from polar form `r·e^{iθ}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pdn_num::c64;
+    /// let z = c64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15);
+    /// assert!((z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        c64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        c64::new(self.re, -self.im)
+    }
+
+    /// Magnitude `|z|`, computed with `hypot` for robustness.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns infinities when `z` is zero, matching `f64` division
+    /// semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        c64::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pdn_num::c64;
+    /// let z = c64::from_im(std::f64::consts::PI).exp();
+    /// assert!((z.re + 1.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn exp(self) -> Self {
+        c64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Self {
+        c64::new(self.norm().ln(), self.arg())
+    }
+
+    /// Principal square root (branch cut along the negative real axis).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pdn_num::c64;
+    /// let z = c64::new(-4.0, 0.0).sqrt();
+    /// assert!((z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        c64::from_polar(self.norm().sqrt(), 0.5 * self.arg())
+    }
+
+    /// Raises the number to a real power using the principal branch.
+    #[inline]
+    pub fn powf(self, p: f64) -> Self {
+        if self == c64::ZERO {
+            return c64::ZERO;
+        }
+        c64::from_polar(self.norm().powf(p), self.arg() * p)
+    }
+
+    /// Returns `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Magnitude in decibels, `20·log10(|z|)`.
+    ///
+    /// Returns `-inf` for zero. Used for S-parameter plots.
+    #[inline]
+    pub fn db(self) -> f64 {
+        20.0 * self.norm().log10()
+    }
+}
+
+impl From<f64> for c64 {
+    fn from(re: f64) -> Self {
+        c64::from_re(re)
+    }
+}
+
+impl fmt::Display for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for c64 {
+    type Output = c64;
+    #[inline]
+    fn add(self, o: c64) -> c64 {
+        c64::new(self.re + o.re, self.im + o.im)
+    }
+}
+impl Sub for c64 {
+    type Output = c64;
+    #[inline]
+    fn sub(self, o: c64) -> c64 {
+        c64::new(self.re - o.re, self.im - o.im)
+    }
+}
+impl Mul for c64 {
+    type Output = c64;
+    #[inline]
+    fn mul(self, o: c64) -> c64 {
+        c64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+impl Div for c64 {
+    type Output = c64;
+    #[inline]
+    fn div(self, o: c64) -> c64 {
+        self * o.recip()
+    }
+}
+impl Neg for c64 {
+    type Output = c64;
+    #[inline]
+    fn neg(self) -> c64 {
+        c64::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for c64 {
+    type Output = c64;
+    #[inline]
+    fn add(self, o: f64) -> c64 {
+        c64::new(self.re + o, self.im)
+    }
+}
+impl Sub<f64> for c64 {
+    type Output = c64;
+    #[inline]
+    fn sub(self, o: f64) -> c64 {
+        c64::new(self.re - o, self.im)
+    }
+}
+impl Mul<f64> for c64 {
+    type Output = c64;
+    #[inline]
+    fn mul(self, o: f64) -> c64 {
+        c64::new(self.re * o, self.im * o)
+    }
+}
+impl Div<f64> for c64 {
+    type Output = c64;
+    #[inline]
+    fn div(self, o: f64) -> c64 {
+        c64::new(self.re / o, self.im / o)
+    }
+}
+impl Mul<c64> for f64 {
+    type Output = c64;
+    #[inline]
+    fn mul(self, o: c64) -> c64 {
+        o * self
+    }
+}
+impl Add<c64> for f64 {
+    type Output = c64;
+    #[inline]
+    fn add(self, o: c64) -> c64 {
+        o + self
+    }
+}
+
+impl AddAssign for c64 {
+    #[inline]
+    fn add_assign(&mut self, o: c64) {
+        *self = *self + o;
+    }
+}
+impl SubAssign for c64 {
+    #[inline]
+    fn sub_assign(&mut self, o: c64) {
+        *self = *self - o;
+    }
+}
+impl MulAssign for c64 {
+    #[inline]
+    fn mul_assign(&mut self, o: c64) {
+        *self = *self * o;
+    }
+}
+impl DivAssign for c64 {
+    #[inline]
+    fn div_assign(&mut self, o: c64) {
+        *self = *self / o;
+    }
+}
+
+impl Sum for c64 {
+    fn sum<I: Iterator<Item = c64>>(iter: I) -> c64 {
+        iter.fold(c64::ZERO, |a, b| a + b)
+    }
+}
+impl Product for c64 {
+    fn product<I: Iterator<Item = c64>>(iter: I) -> c64 {
+        iter.fold(c64::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c64::new(2.0, -3.0);
+        assert_eq!(z + c64::ZERO, z);
+        assert_eq!(z * c64::ONE, z);
+        assert_eq!(z - z, c64::ZERO);
+        let w = z * z.recip();
+        assert!(approx_eq(w.re, 1.0, 1e-14));
+        assert!(approx_eq(w.im, 0.0, 1e-14));
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = c64::new(1.5, 2.5);
+        let b = c64::new(-0.5, 4.0);
+        let p = a * b;
+        assert!(approx_eq(p.re, 1.5 * -0.5 - 2.5 * 4.0, 1e-14));
+        assert!(approx_eq(p.im, 1.5 * 4.0 + 2.5 * -0.5, 1e-14));
+    }
+
+    #[test]
+    fn division_is_inverse_of_multiplication() {
+        let a = c64::new(3.0, -7.0);
+        let b = c64::new(0.25, 1.75);
+        let q = (a * b) / b;
+        assert!(approx_eq(q.re, a.re, 1e-12));
+        assert!(approx_eq(q.im, a.im, 1e-12));
+    }
+
+    #[test]
+    fn euler_identity() {
+        let z = (c64::I * std::f64::consts::PI).exp();
+        assert!(approx_eq(z.re, -1.0, 1e-14));
+        assert!(z.im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (-1.0, 0.0), (3.0, -4.0), (0.0, 2.0)] {
+            let z = c64::new(re, im);
+            let s = z.sqrt();
+            let back = s * s;
+            assert!(approx_eq(back.re, re, 1e-12), "{z}");
+            assert!(approx_eq(back.im, im, 1e-12), "{z}");
+            // Principal branch: non-negative real part.
+            assert!(s.re >= -1e-15);
+        }
+    }
+
+    #[test]
+    fn ln_exp_roundtrip() {
+        let z = c64::new(0.7, -1.3);
+        let back = z.ln().exp();
+        assert!(approx_eq(back.re, z.re, 1e-12));
+        assert!(approx_eq(back.im, z.im, 1e-12));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = c64::new(-2.0, 5.0);
+        let back = c64::from_polar(z.norm(), z.arg());
+        assert!(approx_eq(back.re, z.re, 1e-12));
+        assert!(approx_eq(back.im, z.im, 1e-12));
+    }
+
+    #[test]
+    fn db_of_unity_is_zero() {
+        assert!(c64::ONE.db().abs() < 1e-12);
+        assert!(approx_eq(c64::new(10.0, 0.0).db(), 20.0, 1e-12));
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let v = [c64::new(1.0, 1.0), c64::new(2.0, -1.0), c64::new(-3.0, 0.5)];
+        let s: c64 = v.iter().copied().sum();
+        assert!(approx_eq(s.re, 0.0, 1e-14));
+        assert!(approx_eq(s.im, 0.5, 1e-14));
+        let p: c64 = v.iter().copied().product();
+        let expect = v[0] * v[1] * v[2];
+        assert!(approx_eq(p.re, expect.re, 1e-13));
+        assert!(approx_eq(p.im, expect.im, 1e-13));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(c64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(c64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

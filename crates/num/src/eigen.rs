@@ -1,0 +1,292 @@
+//! Symmetric eigensolvers.
+//!
+//! The cyclic Jacobi method is used because the matrices that need
+//! eigendecomposition in this toolkit (modal analysis of per-unit-length
+//! `L·C` products, small macromodel checks) are dense, symmetric, and small
+//! (tens of rows). Jacobi is simple, unconditionally convergent, and
+//! delivers fully orthogonal eigenvectors.
+
+use crate::{CholeskyDecomposition, Matrix, SolveMatrixError};
+
+/// Result of a symmetric eigendecomposition `A·v = λ·v`.
+///
+/// Eigenvalues are sorted ascending; `vectors.col(k)` is the eigenvector for
+/// `values[k]`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Column-wise orthonormal eigenvectors.
+    pub vectors: Matrix<f64>,
+}
+
+/// Computes all eigenvalues/eigenvectors of a symmetric matrix with the
+/// cyclic Jacobi method.
+///
+/// Only the symmetric part of `a` is used (entries are averaged).
+///
+/// # Errors
+///
+/// Returns [`SolveMatrixError::NotSquare`] for a non-square input.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_num::{symmetric_eigen, Matrix};
+/// # fn main() -> Result<(), pdn_num::SolveMatrixError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = symmetric_eigen(&a)?;
+/// assert!((e.values[0] - 1.0).abs() < 1e-12);
+/// assert!((e.values[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn symmetric_eigen(a: &Matrix<f64>) -> Result<SymmetricEigen, SolveMatrixError> {
+    if !a.is_square() {
+        return Err(SolveMatrixError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    // Symmetrize defensively.
+    let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let mut v = Matrix::identity(n);
+    // Tolerance must scale with the matrix magnitude — physical matrices
+    // here range from ~1e-17 (L·C products) to ~1e12 (potential
+    // coefficients).
+    let scale = m.max_abs();
+    if scale == 0.0 {
+        return Ok(SymmetricEigen {
+            values: vec![0.0; n],
+            vectors: v,
+        });
+    }
+    let tol = 1e-14 * scale;
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off = off.max(m[(i, j)].abs());
+            }
+        }
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable rotation computation (Golub & Van Loan).
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply rotation J(p,q,θ) on both sides of m and accumulate in v.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Collect and sort ascending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+    Ok(SymmetricEigen { values, vectors })
+}
+
+/// Solves the generalized symmetric-definite eigenproblem `A·v = λ·B·v`
+/// with `B` symmetric positive definite.
+///
+/// This is the modal-analysis kernel: for multiconductor transmission lines
+/// the propagation modes satisfy `L·C·v = (1/vₚ²)·v`, which is recast as a
+/// generalized problem to stay in symmetric arithmetic. Internally the
+/// problem is reduced with the Cholesky factor of `B`:
+/// `L⁻¹ A L⁻ᵀ (Lᵀ v) = λ (Lᵀ v)`.
+///
+/// Returned eigenvectors are `B`-orthonormal: `vᵢᵀ B vⱼ = δᵢⱼ`.
+///
+/// # Errors
+///
+/// Returns an error when `B` is not positive definite or shapes mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_num::{generalized_symmetric_eigen, Matrix};
+/// # fn main() -> Result<(), pdn_num::SolveMatrixError> {
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]);
+/// let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 4.0]]);
+/// let e = generalized_symmetric_eigen(&a, &b)?;
+/// assert!((e.values[0] - 2.0).abs() < 1e-12);
+/// assert!((e.values[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generalized_symmetric_eigen(
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+) -> Result<SymmetricEigen, SolveMatrixError> {
+    if a.shape() != b.shape() {
+        return Err(SolveMatrixError::DimensionMismatch {
+            expected: a.nrows(),
+            got: b.nrows(),
+        });
+    }
+    let n = a.nrows();
+    let ch = CholeskyDecomposition::new(b)?;
+    // Form C = L⁻¹ A L⁻ᵀ column by column.
+    // First X = L⁻¹ A  (solve lower for each column of A),
+    // then C = X L⁻ᵀ = (L⁻¹ Xᵀ)ᵀ.
+    let mut x = Matrix::zeros(n, n);
+    for j in 0..n {
+        let col = ch.solve_lower(&a.col(j))?;
+        for i in 0..n {
+            x[(i, j)] = col[i];
+        }
+    }
+    let xt = x.transpose();
+    let mut c = Matrix::zeros(n, n);
+    for j in 0..n {
+        let col = ch.solve_lower(&xt.col(j))?;
+        for i in 0..n {
+            c[(j, i)] = col[i];
+        }
+    }
+    let eig = symmetric_eigen(&c)?;
+    // Back-transform eigenvectors: v = L⁻ᵀ w.
+    let mut vectors = Matrix::zeros(n, n);
+    for j in 0..n {
+        let w = eig.vectors.col(j);
+        let v = ch.solve_upper(&w)?;
+        for i in 0..n {
+            vectors[(i, j)] = v[i];
+        }
+    }
+    Ok(SymmetricEigen {
+        values: eig.values,
+        vectors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 2.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!(approx_eq(e.values[0], -1.0, 1e-12));
+        assert!(approx_eq(e.values[1], 2.0, 1e-12));
+        assert!(approx_eq(e.values[2], 3.0, 1e-12));
+    }
+
+    #[test]
+    fn eigenpairs_satisfy_definition() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, -0.25],
+            &[0.5, -0.25, 5.0],
+        ]);
+        let e = symmetric_eigen(&a).unwrap();
+        for k in 0..3 {
+            let v = e.vectors.col(k);
+            let av = a.matvec(&v);
+            for i in 0..3 {
+                assert!(approx_eq(av[i], e.values[k] * v[i], 1e-10), "pair {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_fn(5, 5, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        for i in 0..5 {
+            for j in 0..5 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(vtv[(i, j)], expect, 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_fn(6, 6, |i, j| ((i + j) as f64).cos());
+        let e = symmetric_eigen(&a).unwrap();
+        let tr: f64 = (0..6).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!(approx_eq(tr, sum, 1e-10));
+    }
+
+    #[test]
+    fn generalized_reduces_to_standard_for_identity_b() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let b = Matrix::identity(2);
+        let e = generalized_symmetric_eigen(&a, &b).unwrap();
+        assert!(approx_eq(e.values[0], 1.0, 1e-12));
+        assert!(approx_eq(e.values[1], 3.0, 1e-12));
+    }
+
+    #[test]
+    fn generalized_eigen_satisfies_definition() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let e = generalized_symmetric_eigen(&a, &b).unwrap();
+        for k in 0..2 {
+            let v = e.vectors.col(k);
+            let av = a.matvec(&v);
+            let bv = b.matvec(&v);
+            for i in 0..2 {
+                assert!(approx_eq(av[i], e.values[k] * bv[i], 1e-10));
+            }
+        }
+        // B-orthonormality.
+        for i in 0..2 {
+            for j in 0..2 {
+                let vi = e.vectors.col(i);
+                let bvj = b.matvec(&e.vectors.col(j));
+                let prod = crate::matrix::dot(&vi, &bvj);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(prod, expect, 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_rejects_indefinite_b() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!(generalized_symmetric_eigen(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! Used to inspect the spectral content of transient waveforms (e.g. the
+//! switching-noise spectrum in the SSN studies) and to cross-check AC sweeps
+//! against time-domain simulations.
+
+use crate::c64;
+
+/// Rounds `n` up to the next power of two (minimum 1).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pdn_num::next_pow2(5), 8);
+/// assert_eq!(pdn_num::next_pow2(8), 8);
+/// assert_eq!(pdn_num::next_pow2(0), 1);
+/// ```
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_num::{c64, fft};
+/// let mut x = vec![c64::ONE; 4];
+/// fft(&mut x);
+/// assert!((x[0].re - 4.0).abs() < 1e-12); // DC bin
+/// assert!(x[1].norm() < 1e-12);
+/// ```
+pub fn fft(data: &mut [c64]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT (normalized by `1/N`).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft(data: &mut [c64]) {
+    fft_dir(data, true);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = *x / n;
+    }
+}
+
+fn fft_dir(data: &mut [c64], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = c64::from_polar(1.0, ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = c64::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Magnitude spectrum of a real signal, zero-padded to a power of two.
+///
+/// Returns `(frequencies, magnitudes)` for the first `N/2 + 1` bins, where
+/// `dt` is the sampling interval of `signal`.
+///
+/// # Examples
+///
+/// ```
+/// // A pure 1 kHz tone sampled at 16 kHz peaks in the 1 kHz bin.
+/// let dt = 1.0 / 16_000.0;
+/// let sig: Vec<f64> = (0..64)
+///     .map(|n| (2.0 * std::f64::consts::PI * 1000.0 * n as f64 * dt).sin())
+///     .collect();
+/// let (freqs, mags) = pdn_num::real_fft_magnitude(&sig, dt);
+/// let peak = mags
+///     .iter()
+///     .enumerate()
+///     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+///     .unwrap()
+///     .0;
+/// assert!((freqs[peak] - 1000.0).abs() < 1.0);
+/// ```
+pub fn real_fft_magnitude(signal: &[f64], dt: f64) -> (Vec<f64>, Vec<f64>) {
+    let n = next_pow2(signal.len());
+    let mut buf: Vec<c64> = signal.iter().map(|&x| c64::from_re(x)).collect();
+    buf.resize(n, c64::ZERO);
+    fft(&mut buf);
+    let df = 1.0 / (n as f64 * dt);
+    let half = n / 2 + 1;
+    let freqs = (0..half).map(|k| k as f64 * df).collect();
+    let mags = buf[..half].iter().map(|z| z.norm()).collect();
+    (freqs, mags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn fft_of_delta_is_flat() {
+        let mut x = vec![c64::ZERO; 8];
+        x[0] = c64::ONE;
+        fft(&mut x);
+        for z in &x {
+            assert!(approx_eq(z.re, 1.0, 1e-12));
+            assert!(z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let orig: Vec<c64> = (0..16)
+            .map(|i| c64::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-12);
+            assert!((a.im - b.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let orig: Vec<c64> = (0..32).map(|i| c64::new((i as f64 * 0.3).sin(), 0.0)).collect();
+        let time_energy: f64 = orig.iter().map(|z| z.norm_sqr()).sum();
+        let mut x = orig;
+        fft(&mut x);
+        let freq_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        assert!(approx_eq(time_energy, freq_energy, 1e-10));
+    }
+
+    #[test]
+    fn single_tone_lands_in_correct_bin() {
+        let n = 64;
+        let k0 = 5;
+        let mut x: Vec<c64> = (0..n)
+            .map(|i| c64::from_polar(1.0, 2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (k, z) in x.iter().enumerate() {
+            if k == k0 {
+                assert!(approx_eq(z.norm(), n as f64, 1e-9));
+            } else {
+                assert!(z.norm() < 1e-9, "leakage in bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut x = vec![c64::ZERO; 6];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn real_spectrum_of_dc() {
+        let (f, m) = real_fft_magnitude(&[1.0; 16], 1e-9);
+        assert_eq!(f[0], 0.0);
+        assert!(approx_eq(m[0], 16.0, 1e-12));
+        assert!(m[1] < 1e-12);
+    }
+}

@@ -1,0 +1,384 @@
+//! LU factorization with partial pivoting.
+//!
+//! This is the single direct solver behind the whole toolkit: the BEM port
+//! solve, the capacitance inversion `C = P⁻¹`, the reluctance computation
+//! `B = AᵀL⁻¹A`, the MNA transient step (factor once, back-substitute every
+//! step — the paper's "efficient circuit solver"), and the AC sweep.
+
+use crate::{Matrix, Scalar, Vector};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a matrix cannot be factored or a solve is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveMatrixError {
+    /// The matrix is not square.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// A zero (or numerically negligible) pivot was encountered.
+    Singular {
+        /// Elimination column at which factorization broke down.
+        column: usize,
+    },
+    /// The right-hand side length does not match the system dimension.
+    DimensionMismatch {
+        /// System dimension.
+        expected: usize,
+        /// Provided right-hand-side length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SolveMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveMatrixError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+            SolveMatrixError::Singular { column } => {
+                write!(f, "matrix is singular at elimination column {column}")
+            }
+            SolveMatrixError::DimensionMismatch { expected, got } => {
+                write!(f, "right-hand side has length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for SolveMatrixError {}
+
+/// An LU factorization `P·A = L·U` with partial (row) pivoting.
+///
+/// The factorization is performed once; [`solve`](Self::solve) then costs
+/// only a pair of triangular substitutions. This is exactly the structure the
+/// paper exploits for uniform-time-step transient simulation.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_num::{LuDecomposition, Matrix};
+///
+/// # fn main() -> Result<(), pdn_num::SolveMatrixError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let lu = LuDecomposition::new(a)?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct LuDecomposition<T> {
+    lu: Matrix<T>,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl<T: Scalar> fmt::Debug for LuDecomposition<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LuDecomposition")
+            .field("dim", &self.lu.nrows())
+            .field("sign", &self.sign)
+            .finish()
+    }
+}
+
+impl<T: Scalar> LuDecomposition<T> {
+    /// Factors the matrix, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveMatrixError::NotSquare`] for non-square input and
+    /// [`SolveMatrixError::Singular`] when a pivot underflows the numerical
+    /// threshold.
+    pub fn new(a: Matrix<T>) -> Result<Self, SolveMatrixError> {
+        if !a.is_square() {
+            return Err(SolveMatrixError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        let mut lu = a;
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = lu.max_abs().max(1.0);
+        let tiny = scale * 1e-300;
+        for k in 0..n {
+            // Partial pivoting: find the largest entry in column k at/below
+            // the diagonal.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax <= tiny {
+                return Err(SolveMatrixError::Singular { column: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                sign = -sign;
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m == T::zero() {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let u = lu[(k, j)];
+                    lu[(i, j)] -= m * u;
+                }
+            }
+        }
+        Ok(LuDecomposition { lu, perm, sign })
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveMatrixError::DimensionMismatch`] when `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[T]) -> Result<Vector<T>, SolveMatrixError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SolveMatrixError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
+        }
+        // Apply permutation, then forward and backward substitution.
+        let mut x: Vector<T> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` for a matrix right-hand side, column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveMatrixError::DimensionMismatch`] when `b.nrows()` does
+    /// not equal the system dimension.
+    pub fn solve_matrix(&self, b: &Matrix<T>) -> Result<Matrix<T>, SolveMatrixError> {
+        let n = self.dim();
+        if b.nrows() != n {
+            return Err(SolveMatrixError::DimensionMismatch {
+                expected: n,
+                got: b.nrows(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes the matrix inverse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (cannot occur for a successfully factored
+    /// system of matching dimension).
+    pub fn inverse(&self) -> Result<Matrix<T>, SolveMatrixError> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant, as the product of pivots times the permutation sign.
+    pub fn det(&self) -> T {
+        let mut d = T::from_f64(self.sign);
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+/// Convenience one-shot solve of `A·x = b`.
+///
+/// # Errors
+///
+/// See [`LuDecomposition::new`] and [`LuDecomposition::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use pdn_num::Matrix;
+/// # fn main() -> Result<(), pdn_num::SolveMatrixError> {
+/// let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]);
+/// let x = pdn_num::lu::solve(a, &[3.0, 1.0])?;
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve<T: Scalar>(a: Matrix<T>, b: &[T]) -> Result<Vector<T>, SolveMatrixError> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+/// Convenience inverse of a square matrix.
+///
+/// # Errors
+///
+/// See [`LuDecomposition::new`].
+pub fn invert<T: Scalar>(a: Matrix<T>) -> Result<Matrix<T>, SolveMatrixError> {
+    LuDecomposition::new(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, c64};
+
+    #[test]
+    fn solve_small_real_system() {
+        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]);
+        let x = solve(a, &[1.0, -2.0, 0.0]).unwrap();
+        assert!(approx_eq(x[0], 1.0, 1e-12));
+        assert!(approx_eq(x[1], -2.0, 1e-12));
+        assert!(approx_eq(x[2], -2.0, 1e-12));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match LuDecomposition::new(a) {
+            Err(SolveMatrixError::Singular { .. }) => {}
+            other => panic!("expected Singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_square_reports_error() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        assert_eq!(
+            LuDecomposition::new(a).unwrap_err(),
+            SolveMatrixError::NotSquare { rows: 2, cols: 3 }
+        );
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            if i == j {
+                4.0
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        let inv = invert(a.clone()).unwrap();
+        let id = a.matmul(&inv);
+        for i in 0..5 {
+            for j in 0..5 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(id[(i, j)], expect, 1e-11), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_of_triangular_and_permuted() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]);
+        let lu = LuDecomposition::new(a).unwrap();
+        assert!(approx_eq(lu.det(), 6.0, 1e-12));
+        // Swapping rows flips the sign.
+        let b = Matrix::from_rows(&[&[0.0, 3.0], &[2.0, 1.0]]);
+        let lub = LuDecomposition::new(b).unwrap();
+        assert!(approx_eq(lub.det(), -6.0, 1e-12));
+    }
+
+    #[test]
+    fn complex_system() {
+        // (1+i) x + y = 2 ; x - i y = 0  =>  x = i y.
+        let a = Matrix::from_rows(&[
+            &[c64::new(1.0, 1.0), c64::ONE],
+            &[c64::ONE, c64::new(0.0, -1.0)],
+        ]);
+        let x = solve(a.clone(), &[c64::new(2.0, 0.0), c64::ZERO]).unwrap();
+        let r0 = a[(0, 0)] * x[0] + a[(0, 1)] * x[1];
+        assert!((r0 - c64::new(2.0, 0.0)).norm() < 1e-12);
+        let r1 = a[(1, 0)] * x[0] + a[(1, 1)] * x[1];
+        assert!(r1.norm() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_right_hand_sides() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let lu = LuDecomposition::new(a.clone()).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x = lu.solve_matrix(&b).unwrap();
+        let back = a.matmul(&x);
+        assert!(approx_eq(back[(0, 0)], 1.0, 1e-12));
+        assert!(approx_eq(back[(0, 1)], 0.0, 1e-12));
+    }
+
+    #[test]
+    fn dimension_mismatch_on_solve() {
+        let lu = LuDecomposition::new(Matrix::<f64>::identity(3)).unwrap();
+        assert_eq!(
+            lu.solve(&[1.0, 2.0]).unwrap_err(),
+            SolveMatrixError::DimensionMismatch { expected: 3, got: 2 }
+        );
+    }
+
+    #[test]
+    fn random_system_residual_small() {
+        // Deterministic pseudo-random fill (LCG) keeps the test hermetic.
+        let mut state: u64 = 0x243F_6A88_85A3_08D3;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let n = 30;
+        let a = Matrix::from_fn(n, n, |i, j| next() + if i == j { 4.0 } else { 0.0 });
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = solve(a.clone(), &b).unwrap();
+        let r = a.matvec(&x);
+        for i in 0..n {
+            assert!(approx_eq(r[i], b[i], 1e-10));
+        }
+    }
+}

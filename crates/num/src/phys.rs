@@ -1,0 +1,77 @@
+//! Physical constants (SI units) shared by the electromagnetic crates.
+//!
+//! Centralizing these here keeps every solver (BEM, FDTD, transmission-line
+//! MoM) numerically consistent: they all see exactly the same `ε₀`, `μ₀`,
+//! and `c₀`.
+
+/// Vacuum permittivity `ε₀` in F/m.
+pub const EPS0: f64 = 8.854_187_812_8e-12;
+
+/// Vacuum permeability `μ₀` in H/m.
+pub const MU0: f64 = 1.256_637_062_12e-6;
+
+/// Speed of light in vacuum `c₀` in m/s.
+pub const C0: f64 = 299_792_458.0;
+
+/// Free-space wave impedance `η₀ = √(μ₀/ε₀)` in ohms (≈ 376.73 Ω).
+pub const ETA0: f64 = 376.730_313_668;
+
+/// Copper conductivity in S/m at room temperature.
+pub const SIGMA_COPPER: f64 = 5.8e7;
+
+/// Tungsten conductivity in S/m (the HP test-plane metal).
+pub const SIGMA_TUNGSTEN: f64 = 1.79e7;
+
+/// Phase velocity in a homogeneous dielectric with relative permittivity
+/// `eps_r`.
+///
+/// # Examples
+///
+/// ```
+/// let v = pdn_num::phys::phase_velocity(4.0);
+/// assert!((v - pdn_num::phys::C0 / 2.0).abs() < 1.0);
+/// ```
+pub fn phase_velocity(eps_r: f64) -> f64 {
+    C0 / eps_r.sqrt()
+}
+
+/// Skin depth `δ = √(2/(ωμσ))` in meters at frequency `f` (Hz) for
+/// conductivity `sigma` (S/m).
+///
+/// # Examples
+///
+/// ```
+/// // Copper at 1 GHz: δ ≈ 2.09 µm.
+/// let d = pdn_num::phys::skin_depth(1e9, pdn_num::phys::SIGMA_COPPER);
+/// assert!((d - 2.09e-6).abs() < 0.05e-6);
+/// ```
+pub fn skin_depth(f: f64, sigma: f64) -> f64 {
+    (1.0 / (std::f64::consts::PI * f * MU0 * sigma)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn constants_are_consistent() {
+        // c₀ = 1/√(μ₀ε₀)
+        assert!(approx_eq(C0, 1.0 / (MU0 * EPS0).sqrt(), 1e-7));
+        // η₀ = √(μ₀/ε₀)
+        assert!(approx_eq(ETA0, (MU0 / EPS0).sqrt(), 1e-7));
+    }
+
+    #[test]
+    fn phase_velocity_scales_with_sqrt_eps() {
+        assert!(approx_eq(phase_velocity(1.0), C0, 1e-12));
+        assert!(approx_eq(phase_velocity(9.0), C0 / 3.0, 1e-9));
+    }
+
+    #[test]
+    fn skin_depth_decreases_with_frequency() {
+        let d1 = skin_depth(1e6, SIGMA_COPPER);
+        let d2 = skin_depth(100e6, SIGMA_COPPER);
+        assert!(approx_eq(d1 / d2, 10.0, 1e-9));
+    }
+}

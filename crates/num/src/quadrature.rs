@@ -1,0 +1,189 @@
+//! Gauss–Legendre quadrature.
+//!
+//! The BEM panel integrals of the layered Green's functions (far
+//! interactions) and the Galerkin testing inner products are evaluated with
+//! tensor-product Gauss–Legendre rules. Nodes and weights are computed at
+//! run time by Newton iteration on the Legendre polynomials, so any order is
+//! available.
+
+/// A Gauss–Legendre rule on the canonical interval `[-1, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_num::GaussLegendre;
+///
+/// let rule = GaussLegendre::new(5);
+/// // ∫_{-1}^{1} x⁴ dx = 2/5; a 5-point rule is exact for degree ≤ 9.
+/// let integral = rule.integrate(-1.0, 1.0, |x| x.powi(4));
+/// assert!((integral - 0.4).abs() < 1e-14);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussLegendre {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GaussLegendre {
+    /// Builds an `n`-point rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "quadrature order must be positive");
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Initial guess (Abramowitz & Stegun 25.4.30 style).
+            let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            let mut dp = 0.0;
+            for _ in 0..100 {
+                // Evaluate P_n(x) and P'_n(x) by recurrence.
+                let (mut p0, mut p1) = (1.0f64, x);
+                for k in 2..=n {
+                    let pk = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0) / k as f64;
+                    p0 = p1;
+                    p1 = pk;
+                }
+                dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+                let dx = p1 / dp;
+                x -= dx;
+                if dx.abs() < 1e-15 {
+                    break;
+                }
+            }
+            let w = 2.0 / ((1.0 - x * x) * dp * dp);
+            nodes[i] = -x;
+            nodes[n - 1 - i] = x;
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        GaussLegendre { nodes, weights }
+    }
+
+    /// Number of points in the rule.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the rule has no points (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nodes on `[-1, 1]`.
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Weights matching [`nodes`](Self::nodes).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Integrates `f` over `[a, b]`.
+    pub fn integrate(&self, a: f64, b: f64, mut f: impl FnMut(f64) -> f64) -> f64 {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(mid + half * x))
+            .sum::<f64>()
+            * half
+    }
+
+    /// Integrates `f(x, y)` over the rectangle `[ax, bx] × [ay, by]` with a
+    /// tensor-product rule.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let rule = pdn_num::GaussLegendre::new(4);
+    /// let v = rule.integrate_2d(0.0, 1.0, 0.0, 2.0, |x, y| x * y);
+    /// assert!((v - 1.0).abs() < 1e-13);
+    /// ```
+    pub fn integrate_2d(
+        &self,
+        ax: f64,
+        bx: f64,
+        ay: f64,
+        by: f64,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> f64 {
+        let hx = 0.5 * (bx - ax);
+        let mx = 0.5 * (ax + bx);
+        let hy = 0.5 * (by - ay);
+        let my = 0.5 * (ay + by);
+        let mut sum = 0.0;
+        for (&xi, &wi) in self.nodes.iter().zip(&self.weights) {
+            let x = mx + hx * xi;
+            for (&yj, &wj) in self.nodes.iter().zip(&self.weights) {
+                sum += wi * wj * f(x, my + hy * yj);
+            }
+        }
+        sum * hx * hy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn weights_sum_to_interval_length() {
+        for n in 1..=12 {
+            let rule = GaussLegendre::new(n);
+            let s: f64 = rule.weights().iter().sum();
+            assert!(approx_eq(s, 2.0, 1e-13), "order {n}");
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials_up_to_degree_2n_minus_1() {
+        for n in 1..=8 {
+            let rule = GaussLegendre::new(n);
+            for d in 0..(2 * n) {
+                let exact = if d % 2 == 0 { 2.0 / (d as f64 + 1.0) } else { 0.0 };
+                let got = rule.integrate(-1.0, 1.0, |x| x.powi(d as i32));
+                assert!(approx_eq(got, exact, 1e-12), "n={n} degree={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_symmetric_about_origin() {
+        let rule = GaussLegendre::new(7);
+        for i in 0..7 {
+            assert!(approx_eq(rule.nodes()[i], -rule.nodes()[6 - i], 1e-14));
+        }
+        // Odd order has a node at zero.
+        assert!(rule.nodes()[3].abs() < 1e-15);
+    }
+
+    #[test]
+    fn transformed_interval() {
+        let rule = GaussLegendre::new(10);
+        let got = rule.integrate(0.0, std::f64::consts::PI, f64::sin);
+        assert!(approx_eq(got, 2.0, 1e-10));
+    }
+
+    #[test]
+    fn two_dimensional_gaussian_bump() {
+        let rule = GaussLegendre::new(16);
+        // ∫∫ exp(-(x²+y²)) over [-3,3]² ≈ π·erf(3)² ≈ 3.14153.
+        let got = rule.integrate_2d(-3.0, 3.0, -3.0, 3.0, |x, y| (-(x * x + y * y)).exp());
+        assert!(approx_eq(got, std::f64::consts::PI, 1e-4));
+    }
+
+    #[test]
+    fn known_5_point_weights() {
+        let rule = GaussLegendre::new(5);
+        // Reference values from Abramowitz & Stegun.
+        assert!(approx_eq(rule.weights()[2], 128.0 / 225.0, 1e-13));
+        assert!(approx_eq(rule.nodes()[4], 0.906179845938664, 1e-12));
+    }
+}

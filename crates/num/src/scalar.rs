@@ -1,0 +1,152 @@
+//! The [`Scalar`] abstraction shared by the dense linear-algebra kernels.
+//!
+//! `Scalar` is implemented for `f64` and [`crate::c64`] so that the LU
+//! factorization and matrix containers can be written once and used for both
+//! the real quasi-static extraction path and the complex frequency-domain
+//! (AC / S-parameter) path.
+
+use crate::c64;
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A field element usable by the dense kernels (`f64` or [`c64`]).
+///
+/// The trait is sealed in spirit: it exists for the two concrete types this
+/// toolkit needs and is not intended as a general numeric tower.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_num::Scalar;
+///
+/// fn trace<T: Scalar>(diag: &[T]) -> T {
+///     diag.iter().fold(T::zero(), |acc, &x| acc + x)
+/// }
+/// assert_eq!(trace(&[1.0_f64, 2.0, 3.0]), 6.0);
+/// ```
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Embeds an `f64` (as a real value).
+    fn from_f64(x: f64) -> Self;
+    /// Magnitude used for pivot selection.
+    fn abs(self) -> f64;
+    /// Complex conjugate (identity for reals).
+    fn conj(self) -> Self;
+    /// Real part.
+    fn real(self) -> f64;
+    /// `true` when every component is finite.
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+    #[inline]
+    fn conj(self) -> Self {
+        self
+    }
+    #[inline]
+    fn real(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Scalar for c64 {
+    #[inline]
+    fn zero() -> Self {
+        c64::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        c64::ONE
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        c64::from_re(x)
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        self.norm()
+    }
+    #[inline]
+    fn conj(self) -> Self {
+        c64::conj(self)
+    }
+    #[inline]
+    fn real(self) -> f64 {
+        self.re
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        c64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_sum<T: Scalar>(xs: &[T]) -> T {
+        xs.iter().fold(T::zero(), |a, &b| a + b)
+    }
+
+    #[test]
+    fn works_for_f64_and_c64() {
+        assert_eq!(generic_sum(&[1.0, 2.0, 3.0]), 6.0);
+        let s = generic_sum(&[c64::new(1.0, 1.0), c64::new(2.0, -3.0)]);
+        assert_eq!(s, c64::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn abs_and_conj() {
+        assert_eq!(Scalar::abs(-3.0_f64), 3.0);
+        assert_eq!(Scalar::conj(-3.0_f64), -3.0);
+        assert_eq!(Scalar::abs(c64::new(3.0, 4.0)), 5.0);
+        assert_eq!(Scalar::conj(c64::new(3.0, 4.0)), c64::new(3.0, -4.0));
+    }
+
+    #[test]
+    fn from_f64_embeds_reals() {
+        assert_eq!(<c64 as Scalar>::from_f64(2.5), c64::new(2.5, 0.0));
+        assert_eq!(<f64 as Scalar>::from_f64(2.5), 2.5);
+        assert_eq!(<c64 as Scalar>::from_f64(2.5).real(), 2.5);
+    }
+}

@@ -1,0 +1,126 @@
+//! Closed-form microstrip formulas (Hammerstad–Jensen).
+//!
+//! Used as the independent reference for the 2-D MoM extractor, exactly as
+//! the paper validates its field solver against "well known structures
+//! like microstrip line" where "more efficient and natural approaches
+//! exist".
+
+/// Effective relative permittivity of a microstrip of width `w` on a
+/// substrate of height `h` with permittivity `eps_r` (Hammerstad).
+///
+/// # Panics
+///
+/// Panics for non-positive dimensions or `eps_r < 1`.
+///
+/// # Examples
+///
+/// ```
+/// let ee = pdn_tline::analytic::microstrip_eps_eff(2e-3, 1e-3, 4.5);
+/// assert!(ee > 1.0 && ee < 4.5);
+/// ```
+pub fn microstrip_eps_eff(w: f64, h: f64, eps_r: f64) -> f64 {
+    assert!(w > 0.0 && h > 0.0, "dimensions must be positive");
+    assert!(eps_r >= 1.0, "eps_r must be >= 1");
+    let u = w / h;
+    let base = (eps_r + 1.0) / 2.0 + (eps_r - 1.0) / 2.0 * (1.0 + 12.0 / u).powf(-0.5);
+    if u < 1.0 {
+        base + (eps_r - 1.0) / 2.0 * 0.04 * (1.0 - u).powi(2)
+    } else {
+        base
+    }
+}
+
+/// Characteristic impedance (Ω) of a microstrip (Hammerstad).
+///
+/// # Panics
+///
+/// Panics for non-positive dimensions or `eps_r < 1`.
+///
+/// # Examples
+///
+/// ```
+/// // A classic ~50 Ω microstrip on FR4: w/h ≈ 1.9.
+/// let z0 = pdn_tline::analytic::microstrip_z0(1.9e-3, 1e-3, 4.5);
+/// assert!((z0 - 50.0).abs() < 3.0);
+/// ```
+pub fn microstrip_z0(w: f64, h: f64, eps_r: f64) -> f64 {
+    let ee = microstrip_eps_eff(w, h, eps_r);
+    let u = w / h;
+    if u <= 1.0 {
+        60.0 / ee.sqrt() * (8.0 / u + 0.25 * u).ln()
+    } else {
+        120.0 * std::f64::consts::PI
+            / (ee.sqrt() * (u + 1.393 + 0.667 * (u + 1.444).ln()))
+    }
+}
+
+/// Per-unit-length capacitance (F/m) of a microstrip from the closed-form
+/// impedance and effective permittivity: `C = √ε_eff/(c₀·Z₀)`.
+pub fn microstrip_capacitance(w: f64, h: f64, eps_r: f64) -> f64 {
+    let z0 = microstrip_z0(w, h, eps_r);
+    let ee = microstrip_eps_eff(w, h, eps_r);
+    ee.sqrt() / (pdn_num::phys::C0 * z0)
+}
+
+/// Per-unit-length inductance (H/m) of a microstrip:
+/// `L = Z₀·√ε_eff/c₀`.
+pub fn microstrip_inductance(w: f64, h: f64, eps_r: f64) -> f64 {
+    let z0 = microstrip_z0(w, h, eps_r);
+    let ee = microstrip_eps_eff(w, h, eps_r);
+    z0 * ee.sqrt() / pdn_num::phys::C0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_num::approx_eq;
+    use pdn_num::phys::C0;
+
+    #[test]
+    fn eps_eff_limits() {
+        // Very wide strip: ε_eff → εr; very narrow: ε_eff → (εr+1)/2.
+        let wide = microstrip_eps_eff(100e-3, 1e-3, 4.5);
+        assert!(wide > 4.0, "wide limit {wide}");
+        let narrow = microstrip_eps_eff(0.05e-3, 1e-3, 4.5);
+        assert!((narrow - 2.75).abs() < 0.35, "narrow limit {narrow}");
+    }
+
+    #[test]
+    fn z0_monotone_in_width() {
+        let z_narrow = microstrip_z0(0.5e-3, 1e-3, 4.5);
+        let z_mid = microstrip_z0(2e-3, 1e-3, 4.5);
+        let z_wide = microstrip_z0(8e-3, 1e-3, 4.5);
+        assert!(z_narrow > z_mid && z_mid > z_wide);
+    }
+
+    #[test]
+    fn known_design_points() {
+        // FR4 50 Ω: w/h ≈ 1.9; alumina (εr = 9.6) 50 Ω: w/h ≈ 0.95.
+        assert!((microstrip_z0(1.9e-3, 1e-3, 4.5) - 50.0).abs() < 3.0);
+        assert!((microstrip_z0(0.95e-3, 1e-3, 9.6) - 50.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn lc_consistent_with_z0_and_velocity() {
+        let (w, h, er) = (2e-3, 1e-3, 4.5);
+        let l = microstrip_inductance(w, h, er);
+        let c = microstrip_capacitance(w, h, er);
+        let z0 = microstrip_z0(w, h, er);
+        let ee = microstrip_eps_eff(w, h, er);
+        assert!(approx_eq((l / c).sqrt(), z0, 1e-12));
+        assert!(approx_eq(1.0 / (l * c).sqrt(), C0 / ee.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn air_line_travels_at_c0() {
+        let l = microstrip_inductance(2e-3, 1e-3, 1.0);
+        let c = microstrip_capacitance(2e-3, 1e-3, 1.0);
+        assert!(approx_eq(1.0 / (l * c).sqrt(), C0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_dims_panic() {
+        let _ = microstrip_z0(0.0, 1e-3, 4.5);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Multiconductor transmission lines: 2-D parameter extraction, modal
+//! analysis, and crosstalk simulation.
+//!
+//! The paper models signal nets as multiconductor transmission lines whose
+//! per-unit-length parameters come from a "fast 2-D field solver" and whose
+//! time-domain behaviour comes from modal analysis. This crate provides:
+//!
+//! * [`MicrostripArray`] — a 2-D method-of-moments solver for traces on a
+//!   grounded dielectric slab (pulse basis, point matching, image-series
+//!   Green's function from [`pdn_greens::Microstrip2d`]): capacitance
+//!   matrix with dielectric, air capacitance, and `L = μ₀ε₀·C₀⁻¹`;
+//! * [`analytic`] — Hammerstad–Jensen closed-form microstrip formulas used
+//!   to validate the MoM;
+//! * [`xtalk`] — the paper's Figure 5 experiment: drive one line of a
+//!   coupled pair and record near/far-end waveforms on both lines.
+//!
+//! # Examples
+//!
+//! ```
+//! use pdn_tline::MicrostripArray;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 50 Ω-ish microstrip: w/h = 2, εr = 4.5.
+//! let line = MicrostripArray::uniform(1, 2e-3, 0.0, 1e-3, 4.5);
+//! let z0 = line.characteristic_impedance()?;
+//! assert!(z0 > 40.0 && z0 < 60.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analytic;
+pub mod mom2d;
+pub mod xtalk;
+
+pub use mom2d::{ExtractLineError, MicrostripArray};
+pub use xtalk::{simulate_coupled_pair, CrosstalkResult};

@@ -1,0 +1,64 @@
+//! Automated decoupling strategy: the paper's flagship application.
+//!
+//! "A major application for this work is to simulate the effect of
+//! de-caps and thus optimize the decoupling strategy which includes the
+//! placement, number, and value of decaps necessary for noise reduction
+//! against design margin" — this example runs that optimization on the
+//! Study A board: a grid of candidate mounting sites, a noise margin,
+//! and a greedy search that places capacitors only where they earn their
+//! keep (instead of "play it safe and put as much as you could").
+//!
+//! Run with `cargo run --release --example decap_optimizer`.
+
+use pdn::prelude::*;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("== decap strategy optimization (paper Section 6.2 application) ==\n");
+    let board = boards::ssn_study_a_board(0.5)?;
+    println!("board: 10 x 7 inch FR4, 16-driver chip at the center, Vcc = 5 V");
+
+    // Candidate sites: a ring near the chip plus spots farther out.
+    let mut candidates = boards::ssn_study_a_decaps(6);
+    candidates.push(DecapSpec::ceramic_100nf(Point::new(inch(2.0), inch(2.0))));
+    candidates.push(DecapSpec::ceramic_100nf(Point::new(inch(8.0), inch(5.5))));
+    println!("{} candidate mounting sites\n", candidates.len());
+
+    let settings = OptimizeSettings {
+        selection: NodeSelection::PortsAndGrid { stride: 4 },
+        switching: 16,
+        t_stop: 20e-9,
+        dt: 0.1e-9,
+        target_noise: 0.7, // the design margin, volts
+        max_decaps: 5,
+    };
+    let plan = optimize_decaps(&board, &candidates, &settings)?;
+
+    println!("baseline plane noise: {:.3} V (margin: {:.2} V)", plan.baseline_noise, settings.target_noise);
+    println!("\ngreedy placement history:");
+    println!("  step   site   location [inch]        noise after [V]");
+    for (step, s) in plan.history.iter().enumerate() {
+        let loc = candidates[s.candidate].location;
+        println!(
+            "  {:>4} {:>6}   ({:>4.2}, {:>4.2}) {:>18.3}",
+            step + 1,
+            s.candidate,
+            loc.x / inch(1.0),
+            loc.y / inch(1.0),
+            s.noise_after
+        );
+    }
+    println!(
+        "\nresult: {} capacitors, noise {:.3} V, margin {}",
+        plan.chosen.len(),
+        plan.final_noise(),
+        if plan.target_met { "MET" } else { "not met with this budget" }
+    );
+    println!(
+        "reduction: {:.0}% with {} of {} candidate sites used",
+        100.0 * (1.0 - plan.final_noise() / plan.baseline_noise),
+        plan.chosen.len(),
+        candidates.len()
+    );
+    Ok(())
+}

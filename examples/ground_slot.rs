@@ -1,0 +1,136 @@
+//! Ground discontinuity: the effect of a slot cut across a return plane.
+//!
+//! The paper's abstract names "ground discontinuity" among the effects
+//! the methodology analyzes. This example quantifies the classic case: a
+//! thin slot cut between two ports of a plane forces the return current
+//! to detour around it, raising the transfer impedance and stretching the
+//! propagation delay — verified here by both the extracted macromodel and
+//! the independent FDTD engine.
+//!
+//! Run with `cargo run --release --example ground_slot`.
+
+use pdn::prelude::*;
+use std::error::Error;
+
+fn specs() -> Result<(PlaneSpec, PlaneSpec), ExtractPlaneError> {
+    let solid_shape = Polygon::rectangle(mm(40.0), mm(24.0));
+    // A 24 mm long, 2 mm wide slot cut from the bottom edge upward at
+    // x = 19..21 mm, leaving only a 4 mm bridge at the top.
+    let slotted_shape = Polygon::rectangle(mm(40.0), mm(24.0)).with_hole(
+        Polygon::rectangle_at(mm(19.0), mm(-1.0), mm(2.0), mm(21.0)).into_outer(),
+    );
+    let build = |shape: Polygon| -> Result<PlaneSpec, ExtractPlaneError> {
+        Ok(PlaneSpec::from_shape(shape, 0.4e-3, 4.4)?
+            .with_sheet_resistance(1e-3)
+            .with_cell_size(mm(1.0))
+            .with_port("A", mm(8.0), mm(6.0))
+            .with_port("B", mm(32.0), mm(6.0)))
+    };
+    Ok((build(solid_shape)?, build(slotted_shape)?))
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("== ground discontinuity: slot in the return plane ==\n");
+    let (solid, slotted) = specs()?;
+    println!("plane: 40 x 24 mm; ports A and B straddle x = 20 mm");
+    println!("slot:  2 mm wide, cut 20/24 mm across between them\n");
+
+    let sel = NodeSelection::PortsAndGrid { stride: 3 };
+    let ex_solid = solid.extract(&sel)?;
+    let ex_slot = slotted.extract(&sel)?;
+    println!(
+        "mesh: solid {} cells, slotted {} cells",
+        ex_solid.bem().mesh().cell_count(),
+        ex_slot.bem().mesh().cell_count()
+    );
+
+    // --- transfer impedance --------------------------------------------
+    println!("\ntransfer impedance |Z(A,B)|, macromodel:");
+    println!("  f [MHz]    solid [Ohm]   slotted [Ohm]   ratio");
+    for &f_mhz in &[50.0, 100.0, 200.0, 400.0, 800.0] {
+        let f = f_mhz * 1e6;
+        let zs = ex_solid.equivalent().impedance(f)?[(0, 1)].norm();
+        let zx = ex_slot.equivalent().impedance(f)?[(0, 1)].norm();
+        println!(
+            "  {:>7.0} {:>13.4} {:>15.4} {:>7.2}x",
+            f_mhz,
+            zs,
+            zx,
+            zx / zs
+        );
+    }
+
+    // --- transient detour -------------------------------------------------
+    // A pulse into port A: the slot forces the wave around the bridge,
+    // delaying and reshaping the arrival at port B. Both engines see it.
+    let stim = Waveform::pulse(0.0, 5.0, 0.05e-9, 0.15e-9, 0.15e-9, 0.6e-9);
+    let cmp_solid =
+        verify::transient_comparison(&solid, &ex_solid, 0, 1, stim.clone(), 50.0, 3e-9, 2e-12)?;
+    let cmp_slot =
+        verify::transient_comparison(&slotted, &ex_slot, 0, 1, stim, 50.0, 3e-9, 2e-12)?;
+
+    let arrival = |time: &[f64], v: &[f64]| -> f64 {
+        let peak = v.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        time.iter()
+            .zip(v)
+            .find(|(_, &x)| x.abs() > 0.3 * peak)
+            .map(|(t, _)| *t)
+            .unwrap_or(f64::NAN)
+    };
+    println!("\ntransient arrival at port B (30% of peak):");
+    println!(
+        "  solid   : circuit {:.0} ps, FDTD {:.0} ps",
+        arrival(&cmp_solid.time, &cmp_solid.circuit) * 1e12,
+        arrival(&cmp_solid.time, &cmp_solid.fdtd) * 1e12
+    );
+    println!(
+        "  slotted : circuit {:.0} ps, FDTD {:.0} ps",
+        arrival(&cmp_slot.time, &cmp_slot.circuit) * 1e12,
+        arrival(&cmp_slot.time, &cmp_slot.fdtd) * 1e12
+    );
+    println!(
+        "\npeak coupled at B: solid {:.3} V, slotted {:.3} V (FDTD: {:.3} / {:.3})",
+        cmp_solid.circuit_peak(),
+        cmp_slot.circuit_peak(),
+        cmp_solid.fdtd_peak(),
+        cmp_slot.fdtd_peak()
+    );
+    // --- field snapshot ----------------------------------------------------
+    // Freeze the FDTD field mid-traversal: the wavefront visibly detours
+    // around the slot bridge.
+    let mut sim = PlaneFdtd::new(slotted.single_shape()?, slotted.pair(), mm(1.0))?
+        .with_loss(2.0 * slotted.sheet_resistance());
+    let pa = sim.add_port("A", Point::new(mm(8.0), mm(6.0)), 50.0)?;
+    let _pb = sim.add_port("B", Point::new(mm(32.0), mm(6.0)), 50.0)?;
+    sim.drive_port(pa, Waveform::pulse(0.0, 5.0, 0.05e-9, 0.15e-9, 0.15e-9, 0.6e-9));
+    sim.run(0.45e-9);
+    let (nx, ny, map) = sim.voltage_map();
+    let peak = sim.peak_voltage().max(1e-12);
+    println!("\nFDTD |v| snapshot at 0.45 ns ('#' strong .. '.' weak, ' ' = slot):");
+    for j in (0..ny).rev().step_by(2) {
+        let mut row = String::with_capacity(nx);
+        for i in 0..nx {
+            row.push(match map[j * nx + i] {
+                None => ' ',
+                Some(v) => {
+                    let r = v.abs() / peak;
+                    if r > 0.5 {
+                        '#'
+                    } else if r > 0.2 {
+                        '+'
+                    } else if r > 0.05 {
+                        '-'
+                    } else {
+                        '.'
+                    }
+                }
+            });
+        }
+        println!("  {row}");
+    }
+
+    println!("\nthe slot raises low-frequency transfer impedance (return-current detour)");
+    println!("and delays the arrival — the ground-discontinuity failure mode the");
+    println!("paper's arbitrary-shape plane modeling exists to analyze.");
+    Ok(())
+}

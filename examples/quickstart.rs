@@ -1,0 +1,87 @@
+//! Quickstart: extract a 4-node equivalent circuit from a power plane and
+//! inspect its impedance profile (the paper's Figure 2 structure).
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use pdn::prelude::*;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A 20 × 20 mm power plane, 0.5 mm over ground, FR4 (εr = 4.5),
+    // 1 mΩ/sq copper, with four corner power pins.
+    let spec = PlaneSpec::rectangle(mm(20.0), mm(20.0), 0.5e-3, 4.5)?
+        .with_sheet_resistance(1e-3)
+        .with_cell_size(mm(2.0))
+        .with_port("P1", mm(2.0), mm(2.0))
+        .with_port("P2", mm(18.0), mm(2.0))
+        .with_port("P3", mm(2.0), mm(18.0))
+        .with_port("P4", mm(18.0), mm(18.0));
+
+    println!("== pdn quickstart: plane-pair extraction ==\n");
+    println!(
+        "structure: 20 x 20 mm plane, d = 0.5 mm, eps_r = 4.5, Rs = 1 mOhm/sq"
+    );
+
+    let extracted = spec.extract(&NodeSelection::PortsOnly)?;
+    let eq = extracted.equivalent();
+    println!(
+        "mesh: {} | extracted: {}-node macromodel\n",
+        extracted.bem().mesh(),
+        eq.node_count()
+    );
+
+    // The paper's Figure 2: a branch between every node pair.
+    println!("four-node equivalent circuit (paper Fig. 2):");
+    println!("  branch      L [nH]     R [mOhm]     C [pF]");
+    for br in eq.branches() {
+        let names = eq.node_names();
+        println!(
+            "  {:>3}-{:<4} {:>9.3} {:>11.3} {:>10.4}",
+            names[br.m],
+            names[br.n],
+            br.inductance().map_or(f64::NAN, |l| l * 1e9),
+            br.resistance().map_or(0.0, |r| r * 1e3),
+            br.capacitance * 1e12,
+        );
+    }
+    println!("  shunt capacitances to ground:");
+    for m in 0..eq.node_count() {
+        println!(
+            "  {:>6}  {:>9.2} pF",
+            eq.node_names()[m],
+            eq.shunt_capacitance(m) * 1e12
+        );
+    }
+
+    // Capturing the distributed plane resonance needs interior nodes: keep
+    // a coarse grid in addition to the ports (the paper's macromodel
+    // style).
+    let fine = spec.extract(&NodeSelection::PortsAndGrid { stride: 2 })?;
+    let eq_fine = fine.equivalent();
+    let f10 = spec.pair().cavity_resonance(mm(20.0), mm(20.0), 1, 0);
+    println!(
+        "\ninput impedance at P1 from a {}-node macromodel (analytic f10 = {:.3} GHz):",
+        eq_fine.node_count(),
+        f10 / 1e9
+    );
+    println!("  f [GHz]    |Z11| [Ohm]   phase [deg]");
+    for k in 1..=12 {
+        let f = f10 * k as f64 / 8.0;
+        let z = eq_fine.impedance(f)?[(0, 0)];
+        println!(
+            "  {:>7.3} {:>12.3} {:>12.1}",
+            f / 1e9,
+            z.norm(),
+            z.arg().to_degrees()
+        );
+    }
+    let peaks = eq_fine.find_resonances(0, 0.5 * f10, 1.5 * f10, 61)?;
+    if let Some(&f_peak) = peaks.first() {
+        println!(
+            "\nfirst extracted resonance: {:.3} GHz ({:+.1}% vs cavity model)",
+            f_peak / 1e9,
+            100.0 * (f_peak - f10) / f10
+        );
+    }
+    Ok(())
+}

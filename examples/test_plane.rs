@@ -1,0 +1,88 @@
+//! Figures 6, 7, and 8 of the paper: the HP Labs 5-port test plane.
+//!
+//! * Fig. 6 — the structure: tungsten planes (6 mOhm/sq) on 280 um alumina
+//!   (eps_r = 9.6), five probing pads 8 mm apart.
+//! * Fig. 7 — |S21| versus frequency: the extracted equivalent circuit
+//!   against the independent reference (FDTD standing in for the
+//!   measurement; see DESIGN.md). Expect agreement at low frequency with a
+//!   growing systematic shift — the quasi-static signature.
+//! * Fig. 8 — transient at Port 2 for a 5 V / 0.2 ns / 1 ns pulse at
+//!   Port 1, all ports 50 Ohm: equivalent-RLC circuit vs 2-D FDTD overlay.
+//!
+//! Run with `cargo run --release --example test_plane`.
+
+use pdn::prelude::*;
+use pdn_extract::circuit::stride_for_node_budget;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("== paper Figures 6-8: HP Labs test plane ==\n");
+    let spec = boards::hp_test_plane()?;
+    println!("plane: 40 x 16 mm, 280 um alumina (eps_r = 9.6), 6 mOhm/sq tungsten");
+    println!("ports: P1..P5 on 8 mm pitch\n");
+
+    // The paper used a 42-node equivalent circuit.
+    let probe_mesh = PlaneMesh::build(
+        spec.single_shape()?,
+        spec.cell_size(),
+    )?;
+    let stride = stride_for_node_budget(&probe_mesh, 42);
+    let extracted = spec.extract(&NodeSelection::PortsAndGrid { stride })?;
+    let eq = extracted.equivalent();
+    println!(
+        "extraction: {} mesh cells -> {}-node equivalent circuit (paper: 42 nodes)",
+        extracted.bem().mesh().cell_count(),
+        eq.node_count()
+    );
+
+    // ---- Fig. 7: |S21| sweep -------------------------------------------
+    let freqs: Vec<f64> = (1..=28).map(|k| k as f64 * 0.5e9).collect();
+    let s_eq = verify::circuit_s21_db(eq, 0, 1, &freqs, 50.0)?;
+    let s_fd = verify::fdtd_s21_db(&spec, 0, 1, &freqs, 50.0, 16e9)?;
+    println!("\n|S21| P1->P2 (dB)  [paper Fig. 7]:");
+    println!("  f [GHz]   equivalent-circuit   FDTD reference   delta [dB]");
+    for ((f, a), b) in freqs.iter().zip(&s_eq).zip(&s_fd) {
+        println!(
+            "  {:>6.1} {:>17.2} {:>16.2} {:>11.2}",
+            f / 1e9,
+            a,
+            b,
+            a - b
+        );
+    }
+    // dB differences explode near the deep nulls between plane modes, so
+    // summarize in linear magnitude.
+    let low: Vec<f64> = freqs
+        .iter()
+        .zip(s_eq.iter().zip(&s_fd))
+        .filter(|(f, _)| **f < 7e9)
+        .map(|(_, (a, b))| (10f64.powf(a / 20.0) - 10f64.powf(b / 20.0)).abs())
+        .collect();
+    let mean_low = low.iter().sum::<f64>() / low.len() as f64;
+    println!(
+        "\nmean linear |S21| difference below 7 GHz: {:.4} (paper: good agreement to\n~10 GHz, then systematic drift; the macromodel's grid bounds its bandwidth\nto ~6 GHz here, above which its transmission rolls off — the quasi-static\nmacromodel signature)",
+        mean_low
+    );
+
+    // ---- Fig. 8: transient at Port 2 -----------------------------------
+    let stim = Waveform::pulse(0.0, 5.0, 0.1e-9, 0.2e-9, 0.2e-9, 1.0e-9);
+    let cmp = verify::transient_comparison(&spec, &extracted, 0, 1, stim, 50.0, 5e-9, 2e-12)?;
+    println!("\ntransient at Port 2 (paper Fig. 8): circuit vs FDTD");
+    println!("  t [ns]    equivalent-RLC    FDTD");
+    let n = cmp.time.len();
+    for k in (0..n).step_by(n / 40) {
+        println!(
+            "  {:>6.2} {:>14.4} {:>11.4}",
+            cmp.time[k] * 1e9,
+            cmp.circuit[k],
+            cmp.fdtd[k]
+        );
+    }
+    println!(
+        "\npeaks: circuit {:.3} V, FDTD {:.3} V; rms difference {:.3} V",
+        cmp.circuit_peak(),
+        cmp.fdtd_peak(),
+        cmp.rms_difference()
+    );
+    Ok(())
+}

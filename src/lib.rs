@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # pdn — power/ground network EM modeling & signal-integrity co-simulation
+//!
+//! A from-scratch Rust implementation of F. Y. Yuan's DAC 1998 system for
+//! electromagnetic modeling of power/ground networks and system-level
+//! signal-integrity simulation: boundary-element (MPIE) field extraction
+//! of plane structures, frequency-independent R–L‖C equivalent circuits,
+//! and time-domain co-simulation with behavioral drivers, package
+//! parasitics, and multiconductor transmission lines.
+//!
+//! This umbrella crate re-exports the whole workspace; most users only
+//! need the [`prelude`]:
+//!
+//! ```
+//! use pdn::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Describe a plane, extract its macromodel, query its impedance.
+//! let spec = PlaneSpec::rectangle(mm(20.0), mm(20.0), 0.5e-3, 4.5)?
+//!     .with_port("P1", mm(2.0), mm(2.0));
+//! let extracted = spec.extract(&NodeSelection::PortsAndGrid { stride: 2 })?;
+//! let z = extracted.equivalent().impedance(1e9)?;
+//! assert!(z[(0, 0)].norm() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | re-export | contents |
+//! |---|---|
+//! | [`num`] | dense linear algebra, complex numbers, FFT, quadrature |
+//! | [`geom`] | polygons, stackups, quadrilateral plane meshing |
+//! | [`greens`] | layered Green's functions, panel integrals, skin effect |
+//! | [`bem`] | MPIE boundary-element assembly and direct solves |
+//! | [`extract`] | quasi-static macromodel extraction, SPICE export |
+//! | [`circuit`] | MNA transient/AC simulator, drivers, coupled lines |
+//! | [`tline`] | 2-D MoM line extraction, modal analysis, crosstalk |
+//! | [`fdtd`] | independent 2-D plane FDTD reference |
+//! | [`core`] | end-to-end flows, boards, co-simulation, verification |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use pdn_bem as bem;
+pub use pdn_circuit as circuit;
+pub use pdn_core as core;
+pub use pdn_extract as extract;
+pub use pdn_fdtd as fdtd;
+pub use pdn_geom as geom;
+pub use pdn_greens as greens;
+pub use pdn_num as num;
+pub use pdn_tline as tline;
+
+pub use pdn_core::prelude;

@@ -1,0 +1,239 @@
+//! Shape reproduction of the paper's evaluation section: each test pins
+//! down the qualitative result (who wins, which direction the error goes,
+//! where the trend bends) of one experiment — the reproduction contract
+//! from DESIGN.md.
+
+use pdn::prelude::*;
+use pdn_core::boards;
+
+/// Example 1: the extracted circuit and the independent FDTD reference
+/// agree on the patch's dominant resonant mode within a few percent.
+/// (The paper compared against a full-wave solver, whose fringing fields
+/// bias the reference LOW; our confined-plane FDTD reference has no
+/// fringing and biases HIGH, so only the magnitude of the deviation — a
+/// few percent — transfers, not its sign. See DESIGN.md.)
+#[test]
+fn ex1_dominant_resonance_agreement() {
+    let spec = boards::lshape_patch().expect("valid spec");
+    let extracted = spec
+        .extract(&NodeSelection::PortsAndGrid { stride: 3 })
+        .expect("extractable");
+    let (f_eq, _) =
+        verify::circuit_strongest_peak(extracted.equivalent(), 0, 0.5e9, 2.5e9, 96)
+            .expect("scannable");
+    let f_fd = verify::fdtd_strongest_peak(&spec, 0, 0.5e9, 2.5e9).expect("scannable");
+    let dev = (f_eq - f_fd) / f_fd;
+    assert!(
+        dev.abs() < 0.10,
+        "dominant-mode deviation {dev:+.3} ({:.3} vs {:.3} GHz)",
+        f_eq / 1e9,
+        f_fd / 1e9
+    );
+}
+
+/// Figure 5: the crosstalk signature — NEXT and FEXT both well below the
+/// through signal, and the through pulse delayed by the line delay.
+#[test]
+fn fig5_crosstalk_shape() {
+    let model = boards::coupled_microstrip_pair()
+        .line_model(0.25)
+        .expect("modal");
+    let stim = Waveform::pulse(0.0, 5.0, 0.2e-9, 0.3e-9, 0.3e-9, 1.0e-9);
+    let res = simulate_coupled_pair(&model, stim, 50.0, 50.0, 8e-9, 5e-12).expect("runnable");
+    let through = res.active_far.iter().fold(0.0f64, |m, &v| m.max(v));
+    assert!(through > 1.5, "through pulse arrives: {through}");
+    assert!(res.next_peak() < 0.4 * through);
+    assert!(res.fext_peak() < 0.6 * through);
+    assert!(res.next_peak() > 0.005 * through, "coupling exists");
+    // Quiet before the first modal delay.
+    let tau = res
+        .time
+        .iter()
+        .zip(&res.active_far)
+        .find(|(_, &v)| v.abs() > 0.05)
+        .map(|(t, _)| *t)
+        .expect("arrival");
+    let min_delay = model.delays().iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    assert!(
+        tau >= 0.8 * min_delay,
+        "arrival {tau:.3e} respects the line delay {min_delay:.3e}"
+    );
+}
+
+/// Figure 7: the equivalent circuit tracks the reference at low frequency
+/// and drifts systematically as frequency rises (quasi-static limit).
+#[test]
+fn fig7_s21_agreement_then_drift() {
+    let spec = boards::hp_test_plane().expect("valid spec");
+    // Coarser mesh for test runtime; physics unchanged.
+    let spec = PlaneSpec::rectangle(mm(40.0), mm(16.0), 280e-6, 9.6)
+        .expect("valid pair")
+        .with_sheet_resistance(6e-3)
+        .with_cell_size(mm(2.0))
+        .with_port("P1", mm(4.0), mm(8.0))
+        .with_port("P2", mm(12.0), mm(8.0))
+        .with_port("P3", mm(20.0), mm(8.0))
+        .with_port("P4", mm(28.0), mm(8.0))
+        .with_port("P5", mm(36.0), spec.ports()[4].1.y);
+    let extracted = spec
+        .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+        .expect("extractable");
+    let low: Vec<f64> = (1..=6).map(|k| k as f64 * 0.5e9).collect();
+    let s_eq = verify::circuit_s21_db(extracted.equivalent(), 0, 1, &low, 50.0)
+        .expect("solvable");
+    let s_fd = verify::fdtd_s21_db(&spec, 0, 1, &low, 50.0, 10e9).expect("solvable");
+    // Compare in linear magnitude: a dB comparison explodes near the deep
+    // transmission nulls between plane modes.
+    for ((f, a_db), b_db) in low.iter().zip(&s_eq).zip(&s_fd) {
+        let a = 10f64.powf(a_db / 20.0);
+        let b = 10f64.powf(b_db / 20.0);
+        assert!(
+            (a - b).abs() < 0.08,
+            "low-frequency agreement at {f:.2e}: |S21| {a:.4} vs {b:.4}"
+        );
+    }
+}
+
+/// Figure 8: the equivalent-RLC transient overlays the FDTD transient.
+#[test]
+fn fig8_transient_overlay() {
+    let mut spec = PlaneSpec::rectangle(mm(40.0), mm(16.0), 280e-6, 9.6)
+        .expect("valid pair")
+        .with_sheet_resistance(6e-3)
+        .with_cell_size(mm(2.0));
+    for k in 0..5 {
+        spec = spec.with_port(format!("P{}", k + 1), mm(4.0 + 8.0 * k as f64), mm(8.0));
+    }
+    let extracted = spec
+        .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+        .expect("extractable");
+    let stim = Waveform::pulse(0.0, 5.0, 0.1e-9, 0.2e-9, 0.2e-9, 1.0e-9);
+    let cmp = verify::transient_comparison(&spec, &extracted, 0, 1, stim, 50.0, 5e-9, 2e-12)
+        .expect("comparable");
+    let peak_ratio = cmp.circuit_peak() / cmp.fdtd_peak();
+    assert!(
+        peak_ratio > 0.7 && peak_ratio < 1.4,
+        "amplitude class matches: ratio {peak_ratio:.3}"
+    );
+    assert!(
+        cmp.rms_difference() < 0.25 * cmp.fdtd_peak(),
+        "waveforms overlay: rms {:.4} vs peak {:.4}",
+        cmp.rms_difference(),
+        cmp.fdtd_peak()
+    );
+}
+
+/// Study A: noise grows monotonically with simultaneously switching
+/// drivers, and decoupling suppresses board-level noise.
+#[test]
+fn study_a_ssn_trends() {
+    let board = boards::ssn_study_a_board(0.7).expect("valid board");
+    let sel = NodeSelection::PortsAndGrid { stride: 5 };
+    let mut noise = Vec::new();
+    for &n in &[1usize, 4, 16] {
+        let out = board
+            .build(&sel, n)
+            .expect("buildable")
+            .run(20e-9, 0.1e-9)
+            .expect("runnable");
+        noise.push(out.peak_noise);
+    }
+    assert!(
+        noise[0] < noise[1] && noise[1] < noise[2],
+        "monotone growth: {noise:?}"
+    );
+    // Decaps cut plane noise.
+    let base = board
+        .build(&sel, 16)
+        .expect("buildable")
+        .run(20e-9, 0.1e-9)
+        .expect("runnable");
+    let mut with = board.clone();
+    for d in boards::ssn_study_a_decaps(4) {
+        with = with.with_decap(d);
+    }
+    let dec = with
+        .build(&sel, 16)
+        .expect("buildable")
+        .run(20e-9, 0.1e-9)
+        .expect("runnable");
+    assert!(
+        dec.plane_noise_peak < base.plane_noise_peak,
+        "decap suppression: {} vs {}",
+        dec.plane_noise_peak,
+        base.plane_noise_peak
+    );
+}
+
+/// Study B: the 26-chip board builds, settles, and produces a noise map
+/// with physically sensible spread.
+#[test]
+fn study_b_noise_map() {
+    let board = boards::post_layout_study_b_board(0.8).expect("valid board");
+    let system = board.build(&NodeSelection::PortsOnly, 2).expect("buildable");
+    assert_eq!(system.partition().devices, 26 * 6);
+    let out = system.run(12e-9, 0.1e-9).expect("runnable");
+    assert_eq!(out.per_chip_peak.len(), 26);
+    let max = out.peak_noise;
+    let min = out
+        .per_chip_peak
+        .iter()
+        .fold(f64::INFINITY, |a, &b| a.min(b));
+    assert!(max > 0.0 && max.is_finite());
+    assert!(min > 0.1 * max, "all chips see comparable noise class");
+}
+
+/// Abstract keyword "ground discontinuity": a slot between two ports
+/// raises the transfer impedance and delays the transient arrival, in
+/// both engines.
+#[test]
+fn ground_slot_discontinuity() {
+    let build = |slotted: bool| {
+        let shape = if slotted {
+            Polygon::rectangle(mm(40.0), mm(24.0)).with_hole(
+                Polygon::rectangle_at(mm(19.0), mm(-1.0), mm(2.0), mm(21.0)).into_outer(),
+            )
+        } else {
+            Polygon::rectangle(mm(40.0), mm(24.0))
+        };
+        PlaneSpec::from_shape(shape, 0.4e-3, 4.4)
+            .expect("valid pair")
+            .with_sheet_resistance(1e-3)
+            .with_cell_size(mm(2.0))
+            .with_port("A", mm(8.0), mm(6.0))
+            .with_port("B", mm(32.0), mm(6.0))
+    };
+    let sel = NodeSelection::PortsAndGrid { stride: 3 };
+    let solid = build(false).extract(&sel).expect("extractable");
+    let slotted = build(true).extract(&sel).expect("extractable");
+    // Return-current detour: transfer impedance rises once the slot is
+    // electrically significant.
+    let f = 400e6;
+    let z_solid = solid.equivalent().impedance(f).expect("solvable")[(0, 1)].norm();
+    let z_slot = slotted.equivalent().impedance(f).expect("solvable")[(0, 1)].norm();
+    assert!(
+        z_slot > 1.2 * z_solid,
+        "slot raises |Z21|: {z_slot:.3} vs {z_solid:.3}"
+    );
+    // And delays the transient arrival (FDTD reference).
+    let spec_solid = build(false);
+    let spec_slot = build(true);
+    let stim = Waveform::pulse(0.0, 5.0, 0.05e-9, 0.15e-9, 0.15e-9, 0.6e-9);
+    let arrival = |spec: &PlaneSpec, ex: &ExtractedPlane| {
+        let cmp = verify::transient_comparison(spec, ex, 0, 1, stim.clone(), 50.0, 3e-9, 4e-12)
+            .expect("comparable");
+        let peak = cmp.fdtd.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        cmp.time
+            .iter()
+            .zip(&cmp.fdtd)
+            .find(|(_, &x)| x.abs() > 0.3 * peak)
+            .map(|(t, _)| *t)
+            .expect("arrives")
+    };
+    let t_solid = arrival(&spec_solid, &solid);
+    let t_slot = arrival(&spec_slot, &slotted);
+    assert!(
+        t_slot > 1.2 * t_solid,
+        "slot delays the arrival: {t_slot:.3e} vs {t_solid:.3e}"
+    );
+}
