@@ -18,7 +18,7 @@
 use pdn_geom::mesh::LinkDirection;
 use pdn_geom::{PlaneMesh, PlanePair};
 use pdn_greens::{LayeredKernel, Rectangle, SurfaceImpedance};
-use pdn_num::{GaussLegendre, Matrix};
+use pdn_num::{parallel, GaussLegendre, Matrix};
 use std::error::Error;
 use std::fmt;
 
@@ -79,6 +79,9 @@ pub enum AssembleBemError {
     EmptyMesh,
     /// The capacitance inversion or a solve failed (non-physical mesh).
     NumericalBreakdown(String),
+    /// A frequency or sweep argument outside the valid domain (`f <= 0`,
+    /// fewer than two sweep points, a non-increasing frequency range…).
+    InvalidInput(String),
 }
 
 impl fmt::Display for AssembleBemError {
@@ -87,6 +90,9 @@ impl fmt::Display for AssembleBemError {
             AssembleBemError::EmptyMesh => write!(f, "mesh has no cells"),
             AssembleBemError::NumericalBreakdown(what) => {
                 write!(f, "numerical breakdown during BEM assembly: {what}")
+            }
+            AssembleBemError::InvalidInput(what) => {
+                write!(f, "invalid BEM analysis input: {what}")
             }
         }
     }
@@ -140,18 +146,27 @@ pub fn assemble_matrices(
     };
 
     // --- Potential coefficients -----------------------------------------
+    // The O(N²) kernel-integration loop dominates assembly; rows are
+    // independent, so fan them out. Only the upper triangle (j ≥ i) is
+    // integrated — row cost shrinks with i, which the dynamic scheduler in
+    // `par_map_indexed` balances across workers.
     let centers = mesh.cell_centers();
+    let p_rows: Vec<Vec<f64>> = parallel::par_map_indexed(n, |i| {
+        (i..n)
+            .map(|j| {
+                let off = (centers[i].x - centers[j].x, centers[i].y - centers[j].y);
+                let p = match &quad {
+                    None => g_phi.panel_integral(off, cell),
+                    Some(q) => g_phi.panel_galerkin(off, cell, cell, q),
+                };
+                p / area
+            })
+            .collect()
+    });
     let mut p_coef = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in i..n {
-            let off = (
-                centers[i].x - centers[j].x,
-                centers[i].y - centers[j].y,
-            );
-            let v = match &quad {
-                None => g_phi.panel_integral(off, cell),
-                Some(q) => g_phi.panel_galerkin(off, cell, cell, q),
-            } / area;
+    for (i, row) in p_rows.iter().enumerate() {
+        for (k, &v) in row.iter().enumerate() {
+            let j = i + k;
             p_coef[(i, j)] = v;
             p_coef[(j, i)] = v;
         }
@@ -159,27 +174,34 @@ pub fn assemble_matrices(
 
     // --- Partial inductances ---------------------------------------------
     let links = mesh.links();
+    let l_rows: Vec<Vec<f64>> = parallel::par_map_indexed(m, |i| {
+        (i..m)
+            .map(|j| {
+                if links[i].direction != links[j].direction {
+                    return 0.0; // orthogonal currents: zero quasi-static mutual
+                }
+                let off = (
+                    links[i].center.x - links[j].center.x,
+                    links[i].center.y - links[j].center.y,
+                );
+                let integral = match &quad {
+                    None => g_a.panel_integral(off, cell) * area,
+                    Some(q) => g_a.panel_galerkin(off, cell, cell, q) * area,
+                };
+                // L = (1/(wᵢwⱼ))·∬∬ G_A; the patch width is the dimension
+                // transverse to current flow.
+                let w = match links[i].direction {
+                    LinkDirection::X => mesh.dy(),
+                    LinkDirection::Y => mesh.dx(),
+                };
+                integral / (w * w)
+            })
+            .collect()
+    });
     let mut l = Matrix::zeros(m, m);
-    for i in 0..m {
-        for j in i..m {
-            if links[i].direction != links[j].direction {
-                continue; // orthogonal currents: zero quasi-static mutual
-            }
-            let off = (
-                links[i].center.x - links[j].center.x,
-                links[i].center.y - links[j].center.y,
-            );
-            let integral = match &quad {
-                None => g_a.panel_integral(off, cell) * area,
-                Some(q) => g_a.panel_galerkin(off, cell, cell, q) * area,
-            };
-            // L = (1/(wᵢwⱼ))·∬∬ G_A; the patch width is the dimension
-            // transverse to current flow.
-            let w = match links[i].direction {
-                LinkDirection::X => mesh.dy(),
-                LinkDirection::Y => mesh.dx(),
-            };
-            let v = integral / (w * w);
+    for (i, row) in l_rows.iter().enumerate() {
+        for (k, &v) in row.iter().enumerate() {
+            let j = i + k;
             l[(i, j)] = v;
             l[(j, i)] = v;
         }
@@ -304,13 +326,8 @@ mod tests {
         let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
         let zs = SurfaceImpedance::lossless();
         let pm = assemble_matrices(&mesh, &pair, &zs, &BemOptions::default()).unwrap();
-        let gal = assemble_matrices(
-            &mesh,
-            &pair,
-            &zs,
-            &BemOptions::default().with_galerkin(4),
-        )
-        .unwrap();
+        let gal =
+            assemble_matrices(&mesh, &pair, &zs, &BemOptions::default().with_galerkin(4)).unwrap();
         // Same structure: off-diagonal terms nearly identical, diagonal a
         // few percent apart (averaging vs center evaluation).
         let rel = (pm.p_coef[(0, 0)] - gal.p_coef[(0, 0)]).abs() / pm.p_coef[(0, 0)];
@@ -330,13 +347,8 @@ mod tests {
         let pair = PlanePair::new(1e-3, 4.5).unwrap();
         let zs = SurfaceImpedance::lossless();
         let confined = assemble_matrices(&mesh, &pair, &zs, &BemOptions::default()).unwrap();
-        let micro = assemble_matrices(
-            &mesh,
-            &pair,
-            &zs,
-            &BemOptions::default().with_microstrip(),
-        )
-        .unwrap();
+        let micro =
+            assemble_matrices(&mesh, &pair, &zs, &BemOptions::default().with_microstrip()).unwrap();
         assert!(micro.p_coef[(0, 0)] > confined.p_coef[(0, 0)]);
     }
 

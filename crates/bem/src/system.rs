@@ -17,7 +17,7 @@
 use crate::assembly::{assemble_matrices, AssembleBemError, BemOptions, RawMatrices};
 use pdn_geom::{PlaneMesh, PlanePair};
 use pdn_greens::SurfaceImpedance;
-use pdn_num::{c64, LuDecomposition, Matrix};
+use pdn_num::{c64, parallel, LuDecomposition, Matrix};
 use std::f64::consts::PI;
 
 /// An assembled boundary-element system for one plane structure.
@@ -31,6 +31,9 @@ pub struct BemSystem {
     l: Matrix<f64>,
     r_link: Vec<f64>,
     incidence: Matrix<f64>,
+    /// `A` promoted to complex once at assembly — every per-frequency
+    /// solve needs it and it is ω-independent.
+    incidence_c: Matrix<c64>,
 }
 
 impl BemSystem {
@@ -58,6 +61,7 @@ impl BemSystem {
         for (link, cell, sign) in mesh.incidence() {
             incidence[(link, cell)] = sign;
         }
+        let incidence_c = incidence.to_complex();
         Ok(BemSystem {
             mesh,
             pair: *pair,
@@ -67,6 +71,7 @@ impl BemSystem {
             l,
             r_link,
             incidence,
+            incidence_c,
         })
     }
 
@@ -127,9 +132,18 @@ impl BemSystem {
     ///
     /// # Errors
     ///
-    /// Returns an error when the branch-impedance matrix is singular
-    /// (cannot occur for `f > 0` with positive-definite `L`).
+    /// Returns [`AssembleBemError::InvalidInput`] for `f <= 0` — at DC a
+    /// lossless system's branch impedance `Zs + jωL` is singular, so the
+    /// formula only applies above DC (same contract as
+    /// [`port_impedance`](Self::port_impedance)). For `f > 0` with
+    /// positive-definite `L` the solve cannot break down.
     pub fn nodal_admittance(&self, f: f64) -> Result<Matrix<c64>, AssembleBemError> {
+        if f <= 0.0 {
+            return Err(AssembleBemError::InvalidInput(format!(
+                "nodal admittance requires f > 0 (Zs + jωL is singular at DC \
+                 for a lossless system), got f = {f}"
+            )));
+        }
         let omega = 2.0 * PI * f;
         let m = self.l.nrows();
         let n = self.c.nrows();
@@ -141,16 +155,21 @@ impl BemSystem {
         let mut zb = Matrix::<c64>::zeros(m, m);
         for i in 0..m {
             for j in 0..m {
-                let re = if i == j { self.r_link[i] * r_scale } else { 0.0 };
+                let re = if i == j {
+                    self.r_link[i] * r_scale
+                } else {
+                    0.0
+                };
                 zb[(i, j)] = c64::new(re, omega * self.l[(i, j)]);
             }
         }
         let lu = LuDecomposition::new(zb)
             .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
-        // X = Zb⁻¹ A  (M×N), then Y = jωC + Aᵀ X.
-        let a_c = self.incidence.to_complex();
+        // X = Zb⁻¹ A  (M×N), then Y = jωC + Aᵀ X. `A` is ω-independent and
+        // cached in complex form at assembly time.
+        let a_c = &self.incidence_c;
         let x = lu
-            .solve_matrix(&a_c)
+            .solve_matrix(a_c)
             .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
         let ata = a_c.hermitian_transpose().matmul(&x);
         let mut y = ata;
@@ -178,14 +197,23 @@ impl BemSystem {
     ///
     /// Panics if no ports are bound to the mesh.
     pub fn port_impedance(&self, f: f64) -> Result<Matrix<c64>, AssembleBemError> {
-        let ports = self.mesh.port_cells();
-        assert!(!ports.is_empty(), "no ports bound to the mesh");
         if f <= 0.0 {
-            return Err(AssembleBemError::NumericalBreakdown(
-                "port impedance requires f > 0 (capacitive ground return)".into(),
-            ));
+            return Err(AssembleBemError::InvalidInput(format!(
+                "port impedance requires f > 0 (capacitive ground return), got f = {f}"
+            )));
         }
         let y = self.nodal_admittance(f)?;
+        self.port_impedance_from_admittance(y)
+    }
+
+    /// Solves the bound ports against an already-built nodal admittance:
+    /// one factorization of `Y`, reused across every port's RHS column.
+    fn port_impedance_from_admittance(
+        &self,
+        y: Matrix<c64>,
+    ) -> Result<Matrix<c64>, AssembleBemError> {
+        let ports = self.mesh.port_cells();
+        assert!(!ports.is_empty(), "no ports bound to the mesh");
         let lu = LuDecomposition::new(y)
             .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
         let n = self.c.nrows();
@@ -204,13 +232,52 @@ impl BemSystem {
         Ok(z)
     }
 
-    /// Scans `|Z(port, port)|` over a frequency grid and returns the
-    /// frequencies of local maxima (plane resonances) in ascending order —
-    /// the order the paper reports its `f₀`, `f₁` resonant modes.
+    /// Batched [`nodal_admittance`](Self::nodal_admittance): one `Y(ω)`
+    /// matrix per frequency, computed on [`pdn_num::parallel`] workers.
+    ///
+    /// Output order matches `freqs` and is identical for every worker
+    /// count (each sweep point is solved independently by one thread).
     ///
     /// # Errors
     ///
-    /// Propagates solve errors from [`port_impedance`](Self::port_impedance).
+    /// Returns the error of the lowest-index failing point; every
+    /// frequency must satisfy `f > 0`.
+    pub fn admittance_sweep(&self, freqs: &[f64]) -> Result<Vec<Matrix<c64>>, AssembleBemError> {
+        parallel::try_par_map_indexed(freqs.len(), |k| self.nodal_admittance(freqs[k]))
+    }
+
+    /// Batched [`port_impedance`](Self::port_impedance): one port
+    /// impedance matrix per frequency, computed on [`pdn_num::parallel`]
+    /// workers with one cached LU factorization per sweep point (shared
+    /// across all port excitations at that point).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-index failing point; every
+    /// frequency must satisfy `f > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no ports are bound to the mesh.
+    pub fn impedance_sweep(&self, freqs: &[f64]) -> Result<Vec<Matrix<c64>>, AssembleBemError> {
+        parallel::try_par_map_indexed(freqs.len(), |k| {
+            let y = self.nodal_admittance(freqs[k])?;
+            self.port_impedance_from_admittance(y)
+        })
+    }
+
+    /// Scans `|Z(port, port)|` over a frequency grid and returns the
+    /// frequencies of local maxima (plane resonances) in ascending order —
+    /// the order the paper reports its `f₀`, `f₁` resonant modes. The grid
+    /// is solved by [`impedance_sweep`](Self::impedance_sweep), so points
+    /// are evaluated in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssembleBemError::InvalidInput`] unless `points >= 2`,
+    /// `f_start > 0`, and `f_stop > f_start` (the same contract as the
+    /// `AcSweep` constructors); otherwise propagates solve errors from
+    /// [`port_impedance`](Self::port_impedance).
     pub fn find_resonances(
         &self,
         port: usize,
@@ -218,16 +285,26 @@ impl BemSystem {
         f_stop: f64,
         points: usize,
     ) -> Result<Vec<f64>, AssembleBemError> {
-        let mut mags = Vec::with_capacity(points);
-        for k in 0..points {
-            let f = f_start + (f_stop - f_start) * k as f64 / (points - 1) as f64;
-            let z = self.port_impedance(f)?;
-            mags.push((f, z[(port, port)].norm()));
+        if points < 2 {
+            return Err(AssembleBemError::InvalidInput(format!(
+                "resonance scan needs at least two sweep points, got {points}"
+            )));
         }
+        if !(f_start > 0.0 && f_stop > f_start) {
+            return Err(AssembleBemError::InvalidInput(format!(
+                "invalid resonance scan range [{f_start}, {f_stop}]: \
+                 need 0 < f_start < f_stop"
+            )));
+        }
+        let freqs: Vec<f64> = (0..points)
+            .map(|k| f_start + (f_stop - f_start) * k as f64 / (points - 1) as f64)
+            .collect();
+        let z = self.impedance_sweep(&freqs)?;
+        let mags: Vec<f64> = z.iter().map(|zk| zk[(port, port)].norm()).collect();
         let mut peaks: Vec<f64> = Vec::new();
         for k in 1..points - 1 {
-            if mags[k].1 > mags[k - 1].1 && mags[k].1 > mags[k + 1].1 {
-                peaks.push(mags[k].0);
+            if mags[k] > mags[k - 1] && mags[k] > mags[k + 1] {
+                peaks.push(freqs[k]);
             }
         }
         Ok(peaks)
@@ -243,8 +320,7 @@ mod tests {
     use pdn_num::phys::EPS0;
 
     fn square_plane(ports: &[(f64, f64)]) -> BemSystem {
-        let mut mesh =
-            PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
+        let mut mesh = PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
         for (i, &(x, y)) in ports.iter().enumerate() {
             mesh.bind_port(format!("P{i}"), Point::new(x, y)).unwrap();
         }
@@ -288,9 +364,7 @@ mod tests {
         // 20×20 mm plane, εr = 4.5, d = 0.5 mm: f₁₀ = v/(2a).
         let sys = square_plane(&[(mm(1.5), mm(1.5))]); // corner port excites (1,0)
         let f10 = sys.pair().cavity_resonance(mm(20.0), mm(20.0), 1, 0);
-        let peaks = sys
-            .find_resonances(0, 0.5 * f10, 1.5 * f10, 41)
-            .unwrap();
+        let peaks = sys.find_resonances(0, 0.5 * f10, 1.5 * f10, 41).unwrap();
         assert!(!peaks.is_empty(), "no resonance found near {f10:.3e}");
         let rel = (peaks[0] - f10).abs() / f10;
         assert!(rel < 0.10, "resonance {:.3e} vs cavity {f10:.3e}", peaks[0]);
@@ -299,8 +373,7 @@ mod tests {
     #[test]
     fn loss_damps_the_resonance_peak() {
         let mesh = || {
-            let mut m =
-                PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
+            let mut m = PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
             m.bind_port("P", Point::new(mm(1.5), mm(1.5))).unwrap();
             m
         };
@@ -344,6 +417,70 @@ mod tests {
     }
 
     #[test]
+    fn nodal_admittance_requires_positive_frequency() {
+        // At f = 0 a lossless system's Zs + jωL is exactly singular; the
+        // guard must reject DC (and negative frequencies) up front instead
+        // of surfacing a factorization breakdown.
+        let sys = square_plane(&[(mm(2.0), mm(2.0))]);
+        for f in [0.0, -1e9] {
+            match sys.nodal_admittance(f) {
+                Err(AssembleBemError::InvalidInput(msg)) => {
+                    assert!(msg.contains("f > 0"), "descriptive error, got: {msg}")
+                }
+                other => panic!("expected InvalidInput for f = {f}, got {other:?}"),
+            }
+        }
+        assert!(sys.nodal_admittance(1e6).is_ok());
+    }
+
+    #[test]
+    fn find_resonances_rejects_degenerate_grids() {
+        let sys = square_plane(&[(mm(2.0), mm(2.0))]);
+        for points in [0, 1] {
+            match sys.find_resonances(0, 1e8, 1e9, points) {
+                Err(AssembleBemError::InvalidInput(_)) => {}
+                other => panic!("points = {points}: expected InvalidInput, got {other:?}"),
+            }
+        }
+        // AcSweep-style range validation.
+        assert!(sys.find_resonances(0, 0.0, 1e9, 11).is_err());
+        assert!(sys.find_resonances(0, 1e9, 1e8, 11).is_err());
+        // Two points cannot hold an interior maximum but are a valid grid.
+        assert_eq!(
+            sys.find_resonances(0, 1e8, 1e9, 2).unwrap(),
+            Vec::<f64>::new()
+        );
+    }
+
+    #[test]
+    fn sweeps_match_per_point_solves() {
+        let sys = square_plane(&[(mm(2.0), mm(2.0)), (mm(17.0), mm(12.0))]);
+        let freqs = [1e7, 1e8, 5e8, 1e9, 2e9];
+        let z_batch = sys.impedance_sweep(&freqs).unwrap();
+        let y_batch = sys.admittance_sweep(&freqs).unwrap();
+        assert_eq!(z_batch.len(), freqs.len());
+        for (k, &f) in freqs.iter().enumerate() {
+            let z_single = sys.port_impedance(f).unwrap();
+            let y_single = sys.nodal_admittance(f).unwrap();
+            // Same code path per point — results must be bit-identical.
+            assert_eq!(z_batch[k], z_single, "Z mismatch at f = {f}");
+            assert_eq!(y_batch[k], y_single, "Y mismatch at f = {f}");
+        }
+    }
+
+    #[test]
+    fn sweep_propagates_lowest_index_error() {
+        let sys = square_plane(&[(mm(2.0), mm(2.0))]);
+        let err = sys.impedance_sweep(&[1e8, -1.0, 0.0]).unwrap_err();
+        match err {
+            AssembleBemError::InvalidInput(msg) => {
+                assert!(msg.contains("-1"), "lowest failing point reported: {msg}")
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn admittance_row_sums_vanish_inductively() {
         // The inductive part Aᵀ(Zs+jωL)⁻¹A has zero row sums (a pure
         // branch circuit): total Y row sum equals the capacitive part.
@@ -371,8 +508,7 @@ mod skin_effect_tests {
     use pdn_num::phys::SIGMA_COPPER;
 
     fn system(zs: SurfaceImpedance) -> BemSystem {
-        let mut mesh =
-            PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
+        let mut mesh = PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
         mesh.bind_port("P", Point::new(mm(1.5), mm(1.5))).unwrap();
         let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
         BemSystem::assemble(mesh, &pair, &zs, &BemOptions::default()).unwrap()

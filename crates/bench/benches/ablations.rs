@@ -26,8 +26,12 @@ fn base_plane() -> PlaneSpec {
 fn testing_scheme_ablation(c: &mut Criterion) {
     let pm_spec = base_plane();
     let gal_spec = base_plane().with_galerkin(4);
-    let pm = pm_spec.extract(&NodeSelection::PortsOnly).expect("extractable");
-    let gal = gal_spec.extract(&NodeSelection::PortsOnly).expect("extractable");
+    let pm = pm_spec
+        .extract(&NodeSelection::PortsOnly)
+        .expect("extractable");
+    let gal = gal_spec
+        .extract(&NodeSelection::PortsOnly)
+        .expect("extractable");
     println!("--- ablation: point matching vs Galerkin testing ---");
     for &f in &[100e6, 1e9] {
         let z_pm = pm.equivalent().impedance(f).expect("solvable")[(0, 0)];
@@ -43,10 +47,18 @@ fn testing_scheme_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_testing_scheme");
     g.sample_size(10);
     g.bench_function("point_matching", |b| {
-        b.iter(|| black_box(&pm_spec).extract(&NodeSelection::PortsOnly).expect("ok"))
+        b.iter(|| {
+            black_box(&pm_spec)
+                .extract(&NodeSelection::PortsOnly)
+                .expect("ok")
+        })
     });
     g.bench_function("galerkin_4", |b| {
-        b.iter(|| black_box(&gal_spec).extract(&NodeSelection::PortsOnly).expect("ok"))
+        b.iter(|| {
+            black_box(&gal_spec)
+                .extract(&NodeSelection::PortsOnly)
+                .expect("ok")
+        })
     });
     g.finish();
 }
@@ -106,7 +118,10 @@ fn taylor_formulation_ablation(c: &mut Criterion) {
         b.iter(|| eq.taylor_impedance(black_box(0.2 * f10), 0).expect("ok"))
     });
     c.bench_function("ablation_exact_impedance_eval", |b| {
-        b.iter(|| eq.grounded_impedance_exact(black_box(0.2 * f10), 0).expect("ok"))
+        b.iter(|| {
+            eq.grounded_impedance_exact(black_box(0.2 * f10), 0)
+                .expect("ok")
+        })
     });
 }
 

@@ -15,8 +15,7 @@ fn ex1(c: &mut Criterion) {
         .extract(&NodeSelection::PortsAndGrid { stride: 3 })
         .expect("extractable");
     let eq = extracted.equivalent();
-    let (f_eq, _) =
-        verify::circuit_strongest_peak(eq, 0, 0.5e9, 2.5e9, 64).expect("scannable");
+    let (f_eq, _) = verify::circuit_strongest_peak(eq, 0, 0.5e9, 2.5e9, 64).expect("scannable");
     let f_fd = verify::fdtd_strongest_peak(&spec, 0, 0.5e9, 2.5e9).expect("scannable");
     println!("--- Example 1: L-shaped patch dominant resonant mode (GHz) ---");
     println!(

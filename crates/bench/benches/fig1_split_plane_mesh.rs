@@ -16,8 +16,12 @@ fn fig1(c: &mut Criterion) {
     println!("{mesh}");
     println!(
         "net 0 cells: {}   net 1 cells: {}",
-        (0..mesh.cell_count()).filter(|&i| mesh.cell_net(i) == 0).count(),
-        (0..mesh.cell_count()).filter(|&i| mesh.cell_net(i) == 1).count(),
+        (0..mesh.cell_count())
+            .filter(|&i| mesh.cell_net(i) == 0)
+            .count(),
+        (0..mesh.cell_count())
+            .filter(|&i| mesh.cell_net(i) == 1)
+            .count(),
     );
 
     c.bench_function("fig1_mesh_split_planes_1p25mm", |b| {

@@ -10,7 +10,9 @@ use std::hint::black_box;
 
 fn fig2(c: &mut Criterion) {
     let spec = fig2_plane();
-    let extracted = spec.extract(&NodeSelection::PortsOnly).expect("extractable");
+    let extracted = spec
+        .extract(&NodeSelection::PortsOnly)
+        .expect("extractable");
     let eq = extracted.equivalent();
     println!("--- Fig. 2: four-node equivalent circuit ---");
     println!("branch      L [nH]    R [mOhm]    C [pF]");

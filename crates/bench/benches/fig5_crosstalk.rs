@@ -38,15 +38,8 @@ fn fig5(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("moc_transient_8ns_dt5ps", |b| {
         b.iter(|| {
-            simulate_coupled_pair(
-                black_box(&model),
-                stim.clone(),
-                50.0,
-                50.0,
-                8e-9,
-                5e-12,
-            )
-            .expect("runnable")
+            simulate_coupled_pair(black_box(&model), stim.clone(), 50.0, 50.0, 8e-9, 5e-12)
+                .expect("runnable")
         })
     });
     g.finish();

@@ -23,13 +23,7 @@ fn fig7(c: &mut Criterion) {
     println!("--- Fig. 7: |S21| P1->P2 (dB), circuit vs FDTD reference ---");
     println!("f [GHz]   circuit    FDTD    delta");
     for ((f, a), b) in freqs.iter().zip(&s_eq).zip(&s_fd) {
-        println!(
-            "{:>6.1} {:>9.2} {:>8.2} {:>7.2}",
-            f / 1e9,
-            a,
-            b,
-            a - b
-        );
+        println!("{:>6.1} {:>9.2} {:>8.2} {:>7.2}", f / 1e9, a, b, a - b);
     }
 
     c.bench_function("fig7_s21_single_frequency", |b| {

@@ -18,17 +18,9 @@ fn fig8(c: &mut Criterion) {
         .extract(&NodeSelection::PortsAndGrid { stride: 2 })
         .expect("extractable");
     let stim = Waveform::pulse(0.0, 5.0, 0.1e-9, 0.2e-9, 0.2e-9, 1.0e-9);
-    let cmp = verify::transient_comparison(
-        &spec,
-        &extracted,
-        0,
-        1,
-        stim.clone(),
-        50.0,
-        5e-9,
-        2e-12,
-    )
-    .expect("comparable");
+    let cmp =
+        verify::transient_comparison(&spec, &extracted, 0, 1, stim.clone(), 50.0, 5e-9, 2e-12)
+            .expect("comparable");
     println!("--- Fig. 8: transient at Port 2 (circuit vs FDTD) ---");
     println!("t [ns]   circuit    FDTD");
     let n = cmp.time.len();

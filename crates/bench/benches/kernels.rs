@@ -49,7 +49,11 @@ fn mna_transient(c: &mut Criterion) {
     // constant matrix, one LU, thousands of back-substitutions.
     let mut ckt = Circuit::new();
     let mut prev = ckt.node("in");
-    ckt.voltage_source(prev, Circuit::GND, Waveform::pulse(0.0, 1.0, 0.0, 0.1e-9, 0.1e-9, 2e-9));
+    ckt.voltage_source(
+        prev,
+        Circuit::GND,
+        Waveform::pulse(0.0, 1.0, 0.0, 0.1e-9, 0.1e-9, 2e-9),
+    );
     for k in 0..100 {
         let a = ckt.node(format!("a{k}"));
         let b = ckt.node(format!("b{k}"));
@@ -79,19 +83,13 @@ fn fdtd_stepping(c: &mut Criterion) {
             &cell_mm,
             |b, &cell_mm| {
                 b.iter(|| {
-                    let mut sim = PlaneFdtd::new(
-                        &Polygon::rectangle(mm(40.0), mm(40.0)),
-                        &pair,
-                        mm(cell_mm),
-                    )
-                    .expect("grid");
+                    let mut sim =
+                        PlaneFdtd::new(&Polygon::rectangle(mm(40.0), mm(40.0)), &pair, mm(cell_mm))
+                            .expect("grid");
                     let p = sim
                         .add_port("p", Point::new(mm(5.0), mm(5.0)), 50.0)
                         .expect("port");
-                    sim.drive_port(
-                        p,
-                        Waveform::pulse(0.0, 1.0, 0.0, 0.1e-9, 0.1e-9, 0.2e-9),
-                    );
+                    sim.drive_port(p, Waveform::pulse(0.0, 1.0, 0.0, 0.1e-9, 0.1e-9, 0.2e-9));
                     sim.run(black_box(2e-9))
                 })
             },

@@ -19,8 +19,7 @@ fn study_b(c: &mut Criterion) {
         p.devices, p.packages, p.pdn_nodes
     );
     let out = system.run(15e-9, 0.1e-9).expect("runnable");
-    let mean: f64 =
-        out.per_chip_peak.iter().sum::<f64>() / out.per_chip_peak.len() as f64;
+    let mean: f64 = out.per_chip_peak.iter().sum::<f64>() / out.per_chip_peak.len() as f64;
     println!(
         "noise: worst {:.3} V, mean {:.3} V, plane {:.3} V",
         out.peak_noise, mean, out.plane_noise_peak

@@ -1,0 +1,89 @@
+//! Parallel frequency-sweep engine: serial vs threaded throughput.
+//!
+//! Times a 64-point BEM impedance sweep (one dense complex factorization
+//! per point, paper eq. 15) with `PDN_THREADS` pinned to 1, 2, and the
+//! machine's available parallelism. The sweep points are independent, so
+//! near-linear scaling is expected; the acceptance bar for this harness is
+//! >1.5× at 4 or more threads, and `PDN_THREADS=1` *is* the serial path
+//! > (no threads are spawned). A summary table with the measured speedups is
+//! > printed alongside the criterion timings. On a single-core machine the
+//! > table will (correctly) show ~1.0× for every thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdn_core::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn sweep_plane() -> ExtractedPlane {
+    PlaneSpec::rectangle(mm(40.0), mm(30.0), 0.5e-3, 4.5)
+        .expect("valid pair")
+        .with_sheet_resistance(2e-3)
+        .with_cell_size(mm(2.5))
+        .with_port("P1", mm(4.0), mm(4.0))
+        .with_port("P2", mm(36.0), mm(26.0))
+        .extract(&NodeSelection::PortsOnly)
+        .expect("extractable")
+}
+
+fn grid(points: usize) -> Vec<f64> {
+    (0..points)
+        .map(|k| 0.1e9 + 3.9e9 * k as f64 / (points - 1) as f64)
+        .collect()
+}
+
+fn thread_counts() -> Vec<usize> {
+    let avail = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut counts = vec![1, 2, avail];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn measure(sys: &BemSystem, freqs: &[f64], threads: usize) -> f64 {
+    std::env::set_var("PDN_THREADS", threads.to_string());
+    // One warmup, then best of three — sweeps are long enough that the
+    // minimum is a stable throughput figure.
+    black_box(sys.impedance_sweep(freqs).expect("solvable"));
+    (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(sys.impedance_sweep(freqs).expect("solvable"));
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn sweep_scaling(c: &mut Criterion) {
+    let extracted = sweep_plane();
+    let sys = extracted.bem();
+    let freqs = grid(64);
+
+    println!("--- parallel sweep scaling: 64-point BEM impedance sweep ---");
+    let t1 = measure(sys, &freqs, 1);
+    println!(
+        "  1 thread : {:8.1} ms (serial path, no threads spawned)",
+        t1 * 1e3
+    );
+    for &n in thread_counts().iter().filter(|&&n| n > 1) {
+        let tn = measure(sys, &freqs, n);
+        println!(
+            "  {n} threads: {:8.1} ms  speedup {:4.2}x",
+            tn * 1e3,
+            t1 / tn
+        );
+    }
+
+    let mut g = c.benchmark_group("sweep_parallel");
+    g.sample_size(10);
+    for n in thread_counts() {
+        g.bench_with_input(BenchmarkId::new("bem_z_sweep_64pt", n), &n, |b, &n| {
+            std::env::set_var("PDN_THREADS", n.to_string());
+            b.iter(|| black_box(sys).impedance_sweep(&freqs).expect("solvable"));
+        });
+    }
+    g.finish();
+    std::env::remove_var("PDN_THREADS");
+}
+
+criterion_group!(benches, sweep_scaling);
+criterion_main!(benches);

@@ -186,7 +186,10 @@ impl Circuit {
     ///
     /// Panics unless `ohms` is positive and finite.
     pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) {
-        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistance must be positive"
+        );
         self.elements.push(Element::Resistor { a, b, ohms });
     }
 
@@ -285,14 +288,7 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics unless `r_on` is positive.
-    pub fn switch_resistor(
-        &mut self,
-        a: NodeId,
-        b: NodeId,
-        r_on: f64,
-        s: Waveform,
-        invert: bool,
-    ) {
+    pub fn switch_resistor(&mut self, a: NodeId, b: NodeId, r_on: f64, s: Waveform, invert: bool) {
         assert!(r_on > 0.0, "on-resistance must be positive");
         self.elements.push(Element::SwitchResistor {
             a,
@@ -333,21 +329,15 @@ impl Circuit {
     pub fn coupled_line(&mut self, model: CoupledLineModel, near: Vec<NodeId>, far: Vec<NodeId>) {
         assert_eq!(near.len(), model.conductor_count(), "near terminal count");
         assert_eq!(far.len(), model.conductor_count(), "far terminal count");
-        self.elements.push(Element::CoupledLine { model, near, far });
+        self.elements
+            .push(Element::CoupledLine { model, near, far });
     }
 
     /// Adds a package pin parasitic π-model between `outer` and `inner`:
     /// series `r` + `l`, with `c/2` shunt capacitance at each end.
     ///
     /// Returns the internal node between R and L.
-    pub fn package_pin(
-        &mut self,
-        outer: NodeId,
-        inner: NodeId,
-        r: f64,
-        l: f64,
-        c: f64,
-    ) -> NodeId {
+    pub fn package_pin(&mut self, outer: NodeId, inner: NodeId, r: f64, l: f64, c: f64) -> NodeId {
         let mid = self.new_node();
         if c > 0.0 {
             self.capacitor(outer, Circuit::GND, 0.5 * c);
@@ -439,7 +429,13 @@ mod tests {
         let a = c.node("a");
         c.resistor(a, Circuit::GND, 1.0);
         assert!(!c.has_time_varying_topology());
-        c.cmos_driver(a, Circuit::GND, Circuit::GND, 10.0, Waveform::step(1.0, 0.0));
+        c.cmos_driver(
+            a,
+            Circuit::GND,
+            Circuit::GND,
+            10.0,
+            Waveform::step(1.0, 0.0),
+        );
         assert!(c.has_time_varying_topology());
     }
 

@@ -8,7 +8,8 @@
 //! S = (Z − Z₀I)(Z + Z₀I)⁻¹          Z = Z₀(I + S)(I − S)⁻¹
 //! ```
 
-use pdn_num::{c64, LuDecomposition, Matrix, SolveMatrixError};
+use crate::netlist::{Circuit, NodeId, SimulateCircuitError};
+use pdn_num::{c64, parallel, LuDecomposition, Matrix, SolveMatrixError};
 
 /// Converts an impedance matrix to a scattering matrix with reference
 /// impedance `z0` (Ω) at every port.
@@ -65,6 +66,50 @@ pub fn z_from_s(s: &Matrix<c64>, z0: f64) -> Result<Matrix<c64>, SolveMatrixErro
     let lu = LuDecomposition::new(i_minus.transpose())?;
     let zt = lu.solve_matrix(&i_plus.transpose())?;
     Ok(zt.transpose().scale(c64::from_re(z0)))
+}
+
+/// Converts a frequency sweep of impedance matrices to scattering
+/// matrices, one [`s_from_z`] conversion per point on
+/// [`pdn_num::parallel`] workers. Output order matches the input and is
+/// identical for any worker count.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-index failing conversion.
+pub fn s_sweep_from_z(
+    z_mats: &[Matrix<c64>],
+    z0: f64,
+) -> Result<Vec<Matrix<c64>>, SolveMatrixError> {
+    parallel::try_par_map_indexed(z_mats.len(), |k| s_from_z(&z_mats[k], z0))
+}
+
+impl Circuit {
+    /// S-parameter sweep over the given port nodes with reference
+    /// impedance `z0`: each frequency point solves the complex MNA system
+    /// once (factorization cached across port excitations) and converts
+    /// the resulting impedance matrix to S, with points fanned out over
+    /// [`pdn_num::parallel`] workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-index failing frequency (`f <= 0`,
+    /// singular MNA matrix, or a failed S conversion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a port is the ground node.
+    pub fn s_parameter_sweep(
+        &self,
+        freqs: &[f64],
+        ports: &[NodeId],
+        z0: f64,
+    ) -> Result<Vec<Matrix<c64>>, SimulateCircuitError> {
+        parallel::try_par_map_indexed(freqs.len(), |k| {
+            let z = self.impedance_matrix(freqs[k], ports)?;
+            s_from_z(&z, z0)
+                .map_err(|e| SimulateCircuitError::Singular(format!("f = {}: {e}", freqs[k])))
+        })
+    }
 }
 
 /// Insertion loss `|S21|` in dB for a two-port impedance matrix.
@@ -125,10 +170,7 @@ mod tests {
 
     #[test]
     fn reciprocal_z_gives_reciprocal_s() {
-        let z = Matrix::from_rows(&[
-            &[c(20.0, 5.0), c(8.0, 1.0)],
-            &[c(8.0, 1.0), c(35.0, -3.0)],
-        ]);
+        let z = Matrix::from_rows(&[&[c(20.0, 5.0), c(8.0, 1.0)], &[c(8.0, 1.0), c(35.0, -3.0)]]);
         let s = s_from_z(&z, 50.0).unwrap();
         assert!((s[(0, 1)] - s[(1, 0)]).norm() < 1e-12);
     }
@@ -156,6 +198,40 @@ mod tests {
         let z = Matrix::from_rows(&[&[c(0.0, 37.0)]]);
         let s = s_from_z(&z, 50.0).unwrap();
         assert!(approx_eq(s[(0, 0)].norm(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn s_sweep_matches_per_point_conversion() {
+        let z_mats: Vec<Matrix<c64>> = (0..40)
+            .map(|k| {
+                let w = 1.0 + k as f64;
+                Matrix::from_rows(&[
+                    &[c(30.0, 0.5 * w), c(5.0, -0.1 * w)],
+                    &[c(5.0, -0.1 * w), c(80.0, -0.3 * w)],
+                ])
+            })
+            .collect();
+        let batch = s_sweep_from_z(&z_mats, 50.0).unwrap();
+        for (k, z) in z_mats.iter().enumerate() {
+            assert_eq!(batch[k], s_from_z(z, 50.0).unwrap(), "point {k}");
+        }
+    }
+
+    #[test]
+    fn circuit_s_parameter_sweep_matches_manual_conversion() {
+        use crate::netlist::Circuit;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.resistor(a, b, 25.0);
+        ckt.capacitor(b, Circuit::GND, 10e-12);
+        ckt.resistor(b, Circuit::GND, 75.0);
+        let freqs: Vec<f64> = (1..=32).map(|k| k as f64 * 1e8).collect();
+        let s_batch = ckt.s_parameter_sweep(&freqs, &[a, b], 50.0).unwrap();
+        for (k, &f) in freqs.iter().enumerate() {
+            let z = ckt.impedance_matrix(f, &[a, b]).unwrap();
+            assert_eq!(s_batch[k], s_from_z(&z, 50.0).unwrap(), "f = {f}");
+        }
     }
 }
 
@@ -192,7 +268,10 @@ pub fn touchstone(freqs: &[f64], matrices: &[Matrix<c64>], z0: f64) -> String {
     }
     let mut out = String::new();
     out.push_str("! S-parameters exported by pdn\n");
-    out.push_str(&format!("! {n}-port network, {} frequency points\n", freqs.len()));
+    out.push_str(&format!(
+        "! {n}-port network, {} frequency points\n",
+        freqs.len()
+    ));
     out.push_str(&format!("# HZ S RI R {z0}\n"));
     for (f, s) in freqs.iter().zip(matrices) {
         if n == 2 {

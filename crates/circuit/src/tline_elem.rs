@@ -198,7 +198,11 @@ impl CoupledLineModel {
             let s = theta.sin();
             let c = theta.cos();
             // Guard the resonance singularity with a tiny loss.
-            let s_safe = if s.abs() < 1e-9 { 1e-9_f64.copysign(if s == 0.0 { 1.0 } else { s }) } else { s };
+            let s_safe = if s.abs() < 1e-9 {
+                1e-9_f64.copysign(if s == 0.0 { 1.0 } else { s })
+            } else {
+                s
+            };
             y_self_m[k] = c64::new(0.0, -c / s_safe);
             y_mut_m[k] = c64::new(0.0, 1.0 / s_safe);
         }
@@ -208,9 +212,8 @@ impl CoupledLineModel {
             for i in 0..n {
                 for j in 0..n {
                     let mut acc = c64::ZERO;
-                    for k in 0..n {
-                        acc += c64::from_re(self.w[(i, k)]) * diag[k]
-                            * c64::from_re(self.tv_inv[(k, j)]);
+                    for (k, &d) in diag.iter().enumerate() {
+                        acc += c64::from_re(self.w[(i, k)]) * d * c64::from_re(self.tv_inv[(k, j)]);
                     }
                     m[(i, j)] = acc;
                 }
@@ -306,7 +309,7 @@ mod tests {
     }
 
     #[test]
-    fn quarter_wave_self_admittance_vanishes(){
+    fn quarter_wave_self_admittance_vanishes() {
         let m = single_line(50.0, 2e8, 0.1);
         let tau = m.delays()[0];
         let omega = std::f64::consts::FRAC_PI_2 / tau; // θ = π/2

@@ -18,6 +18,7 @@
 use crate::netlist::{Circuit, Element, NodeId, SimulateCircuitError};
 use crate::waveform::Waveform;
 use pdn_num::{LuDecomposition, Matrix};
+use std::cmp::Ordering;
 
 /// Integration method for the companion models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -167,17 +168,16 @@ impl Circuit {
     /// modal delay, and [`SimulateCircuitError::Singular`] when the MNA
     /// matrix cannot be factored (floating nodes, voltage-source loops).
     pub fn transient(&self, spec: &TransientSpec) -> Result<TransientResult, SimulateCircuitError> {
-        if !(spec.dt > 0.0) || !(spec.t_stop > 0.0) {
+        if spec.dt.partial_cmp(&0.0) != Some(Ordering::Greater)
+            || spec.t_stop.partial_cmp(&0.0) != Some(Ordering::Greater)
+        {
             return Err(SimulateCircuitError::InvalidSpec(
                 "dt and t_stop must be positive".into(),
             ));
         }
         for e in &self.elements {
             if let Element::CoupledLine { model, .. } = e {
-                let min_tau = model
-                    .delays()
-                    .iter()
-                    .fold(f64::INFINITY, |a, &b| a.min(b));
+                let min_tau = model.delays().iter().fold(f64::INFINITY, |a, &b| a.min(b));
                 if spec.dt > min_tau {
                     return Err(SimulateCircuitError::InvalidSpec(format!(
                         "dt = {} exceeds smallest line modal delay {min_tau}",
@@ -254,7 +254,11 @@ impl Circuit {
                     Element::Capacitor { a: p, b: q, farads } => {
                         stamp_g(*p, *q, kk * farads / dt, &mut a);
                     }
-                    Element::Inductor { a: p, b: q, henries } => {
+                    Element::Inductor {
+                        a: p,
+                        b: q,
+                        henries,
+                    } => {
                         stamp_g(*p, *q, dt / (kk * henries), &mut a);
                     }
                     Element::CoupledInductors {
@@ -275,7 +279,12 @@ impl Circuit {
                         stamp_g(*a1, *b1, g11, &mut a);
                         stamp_g(*a2, *b2, g22, &mut a);
                         // Cross conductance: i1 += g12·(v_a2 − v_b2), etc.
-                        let cross = |p: NodeId, q: NodeId, r: NodeId, sn: NodeId, g: f64, a: &mut Matrix<f64>| {
+                        let cross = |p: NodeId,
+                                     q: NodeId,
+                                     r: NodeId,
+                                     sn: NodeId,
+                                     g: f64,
+                                     a: &mut Matrix<f64>| {
                             // current g·(v_r − v_s) enters branch (p→q)
                             for (ni, sgn_i) in [(p, 1.0), (q, -1.0)] {
                                 for (nj, sgn_j) in [(r, 1.0), (sn, -1.0)] {
@@ -312,7 +321,9 @@ impl Circuit {
                         };
                         stamp_g(*p, *q, g, &mut a);
                     }
-                    Element::VSource { plus, minus, index, .. } => {
+                    Element::VSource {
+                        plus, minus, index, ..
+                    } => {
                         let row = n + index;
                         if plus.0 > 0 {
                             a[(plus.0 - 1, row)] += 1.0;
@@ -464,7 +475,9 @@ impl Circuit {
                 Ok((w, s0))
             };
             let (w_settle, s0_settle) = build_w(&settle_lu)?;
-            let main = main_lu.as_ref().expect("constant matrix in partitioned mode");
+            let main = main_lu
+                .as_ref()
+                .expect("constant matrix in partitioned mode");
             let (w_main, s0_main) = build_w(main)?;
             Some(Woodbury {
                 switches,
@@ -478,7 +491,6 @@ impl Circuit {
         };
 
         let total_steps = n_settle + n_steps + 1;
-        let mut global_step = 0usize;
         for step in 0..total_steps {
             let settling = step < n_settle;
             let t = if settling {
@@ -520,7 +532,11 @@ impl Circuit {
                         add(*p, hist, &mut rhs);
                         add(*q, -hist, &mut rhs);
                     }
-                    Element::Inductor { a: p, b: q, henries } => {
+                    Element::Inductor {
+                        a: p,
+                        b: q,
+                        henries,
+                    } => {
                         let st = &ind_states[li];
                         li += 1;
                         let g = dt_now / (kk * henries);
@@ -534,7 +550,13 @@ impl Circuit {
                         add(*q, hist, &mut rhs);
                     }
                     Element::CoupledInductors {
-                        a1, b1, a2, b2, l1, l2, m: lm,
+                        a1,
+                        b1,
+                        a2,
+                        b2,
+                        l1,
+                        l2,
+                        m: lm,
                     } => {
                         let st = &cind_states[cli];
                         cli += 1;
@@ -555,10 +577,18 @@ impl Circuit {
                         add(*b2, hist[1], &mut rhs);
                     }
                     Element::VSource { wave, index, .. } => {
-                        rhs[n + index] = if settling { wave.initial_value() } else { wave.eval(t) };
+                        rhs[n + index] = if settling {
+                            wave.initial_value()
+                        } else {
+                            wave.eval(t)
+                        };
                     }
                     Element::ISource { from, to, wave } => {
-                        let i = if settling { wave.initial_value() } else { wave.eval(t) };
+                        let i = if settling {
+                            wave.initial_value()
+                        } else {
+                            wave.eval(t)
+                        };
                         add(*from, -i, &mut rhs);
                         add(*to, i, &mut rhs);
                     }
@@ -570,10 +600,8 @@ impl Circuit {
                         let mut h_near = vec![0.0; nc];
                         let mut h_far = vec![0.0; nc];
                         for k in 0..nc {
-                            h_near[k] =
-                                ls_incoming(&ls.far_hist, &ls.delay_steps, k, global_step);
-                            h_far[k] =
-                                ls_incoming(&ls.near_hist, &ls.delay_steps, k, global_step);
+                            h_near[k] = ls_incoming(&ls.far_hist, &ls.delay_steps, k, step);
+                            h_far[k] = ls_incoming(&ls.near_hist, &ls.delay_steps, k, step);
                         }
                         // Norton history currents J = W · h.
                         let j_near = model.from_modal_current(&h_near);
@@ -594,7 +622,9 @@ impl Circuit {
                     (&settle_lu, &wb.w_settle, &wb.s0_settle)
                 } else {
                     (
-                        main_lu.as_ref().expect("constant matrix in partitioned mode"),
+                        main_lu
+                            .as_ref()
+                            .expect("constant matrix in partitioned mode"),
                         &wb.w_main,
                         &wb.s0_main,
                     )
@@ -609,8 +639,12 @@ impl Circuit {
                     // D = diag(g_actual(t) − g_frozen).
                     let mut d = vec![0.0; k];
                     for (idx, (_, _, g_on, s, invert)) in wb.switches.iter().enumerate() {
-                        let sv = if settling { s.initial_value() } else { s.eval(t) }
-                            .clamp(0.0, 1.0);
+                        let sv = if settling {
+                            s.initial_value()
+                        } else {
+                            s.eval(t)
+                        }
+                        .clamp(0.0, 1.0);
                         let frac = if *invert { 1.0 - sv } else { sv };
                         d[idx] = (g_on * frac).max(g_on * 1e-9) - 0.5 * g_on;
                     }
@@ -672,7 +706,11 @@ impl Circuit {
                         st.i = i;
                         st.v = v;
                     }
-                    Element::Inductor { a: p, b: q, henries } => {
+                    Element::Inductor {
+                        a: p,
+                        b: q,
+                        henries,
+                    } => {
                         let g = dt_now / (kk * henries);
                         let v = volt(*p, &x) - volt(*q, &x);
                         let st = &mut ind_states[li];
@@ -685,7 +723,13 @@ impl Circuit {
                         st.v = v;
                     }
                     Element::CoupledInductors {
-                        a1, b1, a2, b2, l1, l2, m: lm,
+                        a1,
+                        b1,
+                        a2,
+                        b2,
+                        l1,
+                        l2,
+                        m: lm,
                     } => {
                         let det = l1 * l2 - lm * lm;
                         let s = dt_now / (kk * det);
@@ -701,10 +745,7 @@ impl Circuit {
                             ],
                             Integration::BackwardEuler => st.i,
                         };
-                        st.i = [
-                            g11 * v1 + g12 * v2 + hist[0],
-                            g12 * v1 + g22 * v2 + hist[1],
-                        ];
+                        st.i = [g11 * v1 + g12 * v2 + hist[0], g12 * v1 + g22 * v2 + hist[1]];
                         st.v = [v1, v2];
                     }
                     Element::CoupledLine { model, near, far } => {
@@ -720,12 +761,16 @@ impl Circuit {
                             let v: Vec<f64> = (0..nc).map(|k| volt(ends[k], &x)).collect();
                             let mut i = yc.matvec(&v);
                             let mut hin = vec![0.0; nc];
-                            for k in 0..nc {
-                                hin[k] = ls_incoming(
-                                    if from_far { &ls.far_hist } else { &ls.near_hist },
+                            for (k, h) in hin.iter_mut().enumerate() {
+                                *h = ls_incoming(
+                                    if from_far {
+                                        &ls.far_hist
+                                    } else {
+                                        &ls.near_hist
+                                    },
                                     &ls.delay_steps,
                                     k,
-                                    global_step,
+                                    step,
                                 );
                             }
                             let j = model.from_modal_current(&hin);
@@ -760,7 +805,6 @@ impl Circuit {
                     source_currents[s].push(x[n + s]);
                 }
             }
-            global_step += 1;
         }
 
         Ok(TransientResult {
@@ -831,8 +875,7 @@ mod tests {
             }
         }
         assert!(crossings.len() >= 3, "expected ringing");
-        let period = (crossings[crossings.len() - 1] - crossings[0])
-            / (crossings.len() - 1) as f64;
+        let period = (crossings[crossings.len() - 1] - crossings[0]) / (crossings.len() - 1) as f64;
         let f = 1.0 / period;
         let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6_f64 * 1e-9).sqrt());
         assert!(approx_eq(f, f0, 0.02), "f = {f}, expect {f0}");
@@ -879,13 +922,9 @@ mod tests {
             ckt.capacitor(out, Circuit::GND, 1e-9);
             ckt
         };
-        let trap = build()
-            .transient(&TransientSpec::new(4e-6, 1e-9))
-            .unwrap();
+        let trap = build().transient(&TransientSpec::new(4e-6, 1e-9)).unwrap();
         let be = build()
-            .transient(
-                &TransientSpec::new(4e-6, 1e-9).with_integration(Integration::BackwardEuler),
-            )
+            .transient(&TransientSpec::new(4e-6, 1e-9).with_integration(Integration::BackwardEuler))
             .unwrap();
         let peak_trap = trap
             .voltage(NodeId(3))
@@ -936,7 +975,11 @@ mod tests {
         let src = ckt.node("src");
         let near = ckt.node("near");
         let far = ckt.node("far");
-        ckt.voltage_source(src, Circuit::GND, Waveform::pulse(0.0, 1.0, 0.5e-9, 0.1e-9, 0.1e-9, 2e-9));
+        ckt.voltage_source(
+            src,
+            Circuit::GND,
+            Waveform::pulse(0.0, 1.0, 0.5e-9, 0.1e-9, 0.1e-9, 2e-9),
+        );
         ckt.resistor(src, near, z0);
         ckt.coupled_line(model, vec![near], vec![far]);
         ckt.resistor(far, Circuit::GND, z0);
@@ -976,7 +1019,11 @@ mod tests {
         let t = res.time();
         let vf = res.voltage(far);
         let idx = t.iter().position(|&tt| tt > 2.5e-9).unwrap();
-        assert!((vf[idx] - 1.0).abs() < 0.02, "open end doubles: {}", vf[idx]);
+        assert!(
+            (vf[idx] - 1.0).abs() < 0.02,
+            "open end doubles: {}",
+            vf[idx]
+        );
     }
 
     #[test]
@@ -1052,8 +1099,12 @@ mod coupled_inductor_tests {
         let res = ckt.transient(&TransientSpec::new(1e-6, 0.2e-9)).unwrap();
         // After start-up, compare amplitude over the last half.
         let half = res.len() / 2;
-        let vp = res.voltage(p)[half..].iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-        let vs = res.voltage(s)[half..].iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let vp = res.voltage(p)[half..]
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        let vs = res.voltage(s)[half..]
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()));
         assert!(
             approx_eq(vs / vp, turns, 0.05),
             "voltage ratio {:.3} vs turns {turns}",
@@ -1082,7 +1133,10 @@ mod coupled_inductor_tests {
         };
         let vb_coupled = build(true);
         let vb_plain = build(false);
-        assert!((vb_coupled - vb_plain).abs() < 1e-6, "{vb_coupled} vs {vb_plain}");
+        assert!(
+            (vb_coupled - vb_plain).abs() < 1e-6,
+            "{vb_coupled} vs {vb_plain}"
+        );
     }
 
     /// AC: the open-circuit transfer of a coupled pair equals M/L1.
@@ -1114,7 +1168,11 @@ mod coupled_inductor_tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
-        ckt.voltage_source(a, Circuit::GND, Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 5e-9));
+        ckt.voltage_source(
+            a,
+            Circuit::GND,
+            Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 5e-9),
+        );
         ckt.coupled_inductors(a, Circuit::GND, b, Circuit::GND, 1e-7, 1e-7, 0.95);
         ckt.resistor(b, Circuit::GND, 10.0);
         ckt.capacitor(b, Circuit::GND, 1e-12);
@@ -1278,12 +1336,7 @@ impl Circuit {
         let res = self.transient(&spec)?;
         let mut out = Vec::with_capacity(self.n_nodes + 1);
         for k in 0..=self.n_nodes {
-            out.push(
-                res.voltage(NodeId(k))
-                    .first()
-                    .copied()
-                    .unwrap_or(0.0),
-            );
+            out.push(res.voltage(NodeId(k)).first().copied().unwrap_or(0.0));
         }
         Ok(out)
     }
@@ -1337,7 +1390,11 @@ mod dc_tests {
             Waveform::pulse(0.0, 1.0, 5e-9, 1e-9, 1e-9, 5e-9),
         );
         let op = ckt.dc_operating_point().unwrap();
-        assert!(op[out.index()] < 0.01, "output idles low: {}", op[out.index()]);
+        assert!(
+            op[out.index()] < 0.01,
+            "output idles low: {}",
+            op[out.index()]
+        );
     }
 
     #[test]
@@ -1361,7 +1418,15 @@ mod dc_tests {
         let op = ckt.dc_operating_point().unwrap();
         // DC divider: the line is transparent, far = 2·z0/(2·z0) ... the
         // load divides with the source resistance: 1.0 V at both ends.
-        assert!((op[near.index()] - 1.0).abs() < 1e-3, "near {}", op[near.index()]);
-        assert!((op[far.index()] - 1.0).abs() < 1e-3, "far {}", op[far.index()]);
+        assert!(
+            (op[near.index()] - 1.0).abs() < 1e-3,
+            "near {}",
+            op[near.index()]
+        );
+        assert!(
+            (op[far.index()] - 1.0).abs() < 1e-3,
+            "far {}",
+            op[far.index()]
+        );
     }
 }

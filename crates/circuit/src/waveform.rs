@@ -158,8 +158,7 @@ impl Waveform {
                     *offset
                 } else {
                     offset
-                        + amplitude
-                            * (2.0 * std::f64::consts::PI * frequency * (t - delay)).sin()
+                        + amplitude * (2.0 * std::f64::consts::PI * frequency * (t - delay)).sin()
                 }
             }
         }

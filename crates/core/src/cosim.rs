@@ -12,7 +12,9 @@
 
 use crate::flow::{ExtractPlaneError, PlaneSpec};
 use pdn_circuit::netlist::SourceId;
-use pdn_circuit::{Circuit, CoupledLineModel, NodeId, SimulateCircuitError, TransientSpec, Waveform};
+use pdn_circuit::{
+    Circuit, CoupledLineModel, NodeId, SimulateCircuitError, TransientSpec, Waveform,
+};
 use pdn_extract::NodeSelection;
 use pdn_geom::Point;
 use pdn_num::Matrix;
@@ -443,7 +445,11 @@ impl BoardSystem {
             .and_then(|outs| outs.first())
             .map(|&n| res.voltage(n).to_vec())
             .unwrap_or_default();
-        let supply_current = res.source_current(self.supply).iter().map(|&i| -i).collect();
+        let supply_current = res
+            .source_current(self.supply)
+            .iter()
+            .map(|&i| -i)
+            .collect();
         Ok(SsnOutcome {
             time,
             rail_noise,
@@ -480,9 +486,14 @@ pub struct SsnOutcome {
 /// Sweeps the number of simultaneously switching drivers and reports the
 /// peak noise for each count — the paper's Study A experiment.
 ///
+/// Each switching count is an independent build + transient run, so the
+/// sweep points execute on [`pdn_num::parallel`] workers. The output rows
+/// follow `counts` order regardless of the worker count.
+///
 /// # Errors
 ///
-/// Propagates build or simulation failures.
+/// Propagates build or simulation failures; with several failing counts,
+/// the lowest-index one is reported.
 pub fn ssn_switching_sweep(
     board: &BoardSpec,
     selection: &NodeSelection,
@@ -490,13 +501,14 @@ pub fn ssn_switching_sweep(
     t_stop: f64,
     dt: f64,
 ) -> Result<Vec<(usize, f64)>, Box<dyn Error>> {
-    let mut rows = Vec::with_capacity(counts.len());
-    for &n in counts {
-        let system = board.build(selection, n)?;
-        let outcome = system.run(t_stop, dt)?;
-        rows.push((n, outcome.peak_noise));
-    }
-    Ok(rows)
+    // `Box<dyn Error>` is not `Send`, so workers report errors as strings.
+    pdn_num::parallel::try_par_map_indexed(counts.len(), |k| {
+        let n = counts[k];
+        let system = board.build(selection, n).map_err(|e| e.to_string())?;
+        let outcome = system.run(t_stop, dt).map_err(|e| e.to_string())?;
+        Ok::<_, String>((n, outcome.peak_noise))
+    })
+    .map_err(Into::into)
 }
 
 #[cfg(test)]
@@ -565,16 +577,17 @@ mod tests {
             0.05e-9,
         )
         .unwrap();
-        assert!(rows[1].1 > rows[0].1, "noise grows with switchers: {rows:?}");
+        assert!(
+            rows[1].1 > rows[0].1,
+            "noise grows with switchers: {rows:?}"
+        );
     }
 
     #[test]
     fn decap_reduces_noise() {
         let base = small_board();
-        let with_decap = small_board().with_decap(DecapSpec::ceramic_100nf(Point::new(
-            mm(28.0),
-            mm(20.0),
-        )));
+        let with_decap =
+            small_board().with_decap(DecapSpec::ceramic_100nf(Point::new(mm(28.0), mm(20.0))));
         let sel = NodeSelection::PortsAndGrid { stride: 3 };
         let n_base = base.build(&sel, 4).unwrap().run(20e-9, 0.05e-9).unwrap();
         let n_dec = with_decap
@@ -601,8 +614,7 @@ mod tests {
             .with_cell_size(mm(5.0));
         let chip = ChipSpec::cmos("U1", Point::new(mm(30.0), mm(20.0)), 1)
             .with_line(SignalLineSpec::z50(0.05));
-        let board =
-            BoardSpec::new(plane, 3.3, Point::new(mm(2.0), mm(2.0))).with_chip(chip);
+        let board = BoardSpec::new(plane, 3.3, Point::new(mm(2.0), mm(2.0))).with_chip(chip);
         let sys = board
             .build(&NodeSelection::PortsAndGrid { stride: 3 }, 1)
             .unwrap();
@@ -624,9 +636,8 @@ mod partitioned_cosim_tests {
             .unwrap()
             .with_sheet_resistance(1e-3)
             .with_cell_size(mm(5.0));
-        let board = BoardSpec::new(plane, 3.3, Point::new(mm(2.0), mm(2.0))).with_chip(
-            ChipSpec::cmos("U1", Point::new(mm(30.0), mm(20.0)), 4),
-        );
+        let board = BoardSpec::new(plane, 3.3, Point::new(mm(2.0), mm(2.0)))
+            .with_chip(ChipSpec::cmos("U1", Point::new(mm(30.0), mm(20.0)), 4));
         let sys = board
             .build(&NodeSelection::PortsAndGrid { stride: 3 }, 4)
             .unwrap();

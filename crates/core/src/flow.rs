@@ -274,7 +274,9 @@ mod tests {
             .with_cell_size(mm(2.5))
             .with_port("A", mm(2.0), mm(2.0))
             .with_port("B", mm(18.0), mm(13.0));
-        let ex = spec.extract(&NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
+        let ex = spec
+            .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+            .unwrap();
         assert_eq!(ex.equivalent().port_count(), 2);
         assert!(ex.equivalent().has_loss());
         // Sanity: macromodel tracks the direct solve at a benign frequency.

@@ -47,14 +47,14 @@ pub mod optimize;
 pub mod verify;
 
 pub use cosim::{BoardSpec, BoardSystem, ChipSpec, DecapSpec, SsnOutcome};
-pub use flow::{ExtractedPlane, ExtractPlaneError, PlaneSpec};
+pub use flow::{ExtractPlaneError, ExtractedPlane, PlaneSpec};
 pub use optimize::{optimize_decaps, DecapPlan, OptimizeSettings};
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {
     pub use crate::boards;
     pub use crate::cosim::{BoardSpec, BoardSystem, ChipSpec, DecapSpec, SsnOutcome};
-    pub use crate::flow::{ExtractedPlane, ExtractPlaneError, PlaneSpec};
+    pub use crate::flow::{ExtractPlaneError, ExtractedPlane, PlaneSpec};
     pub use crate::optimize::{optimize_decaps, DecapPlan, OptimizeSettings};
     pub use crate::verify;
     pub use pdn_bem::{BemOptions, BemSystem, Testing};

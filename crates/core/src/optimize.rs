@@ -137,7 +137,7 @@ pub fn optimize_decaps(
             let mut trial = chosen.clone();
             trial.push(*cand);
             let noise = evaluate(&trial)?;
-            if best.map_or(true, |(_, n)| noise < n) {
+            if best.is_none_or(|(_, n)| noise < n) {
                 best = Some((k, noise));
             }
         }

@@ -29,12 +29,8 @@ pub fn circuit_s21_db(
     freqs: &[f64],
     z0: f64,
 ) -> Result<Vec<f64>, Box<dyn Error>> {
-    let mut out = Vec::with_capacity(freqs.len());
-    for &f in freqs {
-        let s = eq.s_parameters(f, z0)?;
-        out.push(s[(p_out, p_in)].db());
-    }
-    Ok(out)
+    let sweep = eq.s_parameter_sweep(freqs, z0)?;
+    Ok(sweep.iter().map(|s| s[(p_out, p_in)].db()).collect())
 }
 
 /// `|S21|` (dB) between two ports computed by the FDTD reference: a short
@@ -168,19 +164,16 @@ pub fn circuit_strongest_peak(
     f_stop: f64,
     points: usize,
 ) -> Result<(f64, f64), Box<dyn Error>> {
+    let freqs: Vec<f64> = (0..points)
+        .map(|k| f_start + (f_stop - f_start) * k as f64 / (points - 1) as f64)
+        .collect();
+    let z = eq.impedance_sweep(&freqs)?;
+    let mags: Vec<f64> = z.iter().map(|zk| zk[(port, port)].norm()).collect();
     let mut best: Option<(f64, f64)> = None;
-    let mut prev2: Option<(f64, f64)> = None;
-    let mut prev1: Option<(f64, f64)> = None;
-    for k in 0..points {
-        let f = f_start + (f_stop - f_start) * k as f64 / (points - 1) as f64;
-        let z = eq.impedance(f)?[(port, port)].norm();
-        if let (Some(a), Some(b)) = (prev2, prev1) {
-            if b.1 > a.1 && b.1 > z && best.map_or(true, |m| b.1 > m.1) {
-                best = Some(b);
-            }
+    for k in 1..points.saturating_sub(1) {
+        if mags[k] > mags[k - 1] && mags[k] > mags[k + 1] && best.is_none_or(|m| mags[k] > m.1) {
+            best = Some((freqs[k], mags[k]));
         }
-        prev2 = prev1;
-        prev1 = Some((f, z));
     }
     best.ok_or_else(|| "no impedance peak in the scan window".into())
 }
@@ -216,7 +209,7 @@ pub fn fdtd_strongest_peak(
             && freqs[k] <= f_stop
             && mags[k] > mags[k - 1]
             && mags[k] > mags[k + 1]
-            && best.map_or(true, |(_, m)| mags[k] > m)
+            && best.is_none_or(|(_, m)| mags[k] > m)
         {
             best = Some((freqs[k], mags[k]));
         }
@@ -289,7 +282,9 @@ pub fn transient_comparison(
     let eq = extracted.equivalent();
     let mut ckt = Circuit::new();
     let nodes = eq.to_circuit_with(&mut ckt, "pg_", 0.0, pdn_extract::Realization::Exact);
-    let port_nodes: Vec<NodeId> = (0..eq.port_count()).map(|p| nodes[eq.port_node(p)]).collect();
+    let port_nodes: Vec<NodeId> = (0..eq.port_count())
+        .map(|p| nodes[eq.port_node(p)])
+        .collect();
     for (p, &node) in port_nodes.iter().enumerate() {
         if p == drive_port {
             let src = ckt.node("stim");
@@ -355,12 +350,11 @@ mod tests {
     #[test]
     fn fig8_style_transient_agrees() {
         let spec = small_plane();
-        let extracted = spec.extract(&NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
+        let extracted = spec
+            .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+            .unwrap();
         let stim = Waveform::pulse(0.0, 5.0, 0.1e-9, 0.2e-9, 0.2e-9, 1.0e-9);
-        let cmp = transient_comparison(
-            &spec, &extracted, 0, 1, stim, 50.0, 4e-9, 2e-12,
-        )
-        .unwrap();
+        let cmp = transient_comparison(&spec, &extracted, 0, 1, stim, 50.0, 4e-9, 2e-12).unwrap();
         assert!(cmp.circuit_peak() > 0.05, "signal couples across the plane");
         assert!(cmp.fdtd_peak() > 0.05);
         // The two independent engines agree in amplitude class and shape.
@@ -376,7 +370,9 @@ mod tests {
     #[test]
     fn s21_curves_track_below_resonance() {
         let spec = small_plane();
-        let extracted = spec.extract(&NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
+        let extracted = spec
+            .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+            .unwrap();
         let f10 = spec.pair().cavity_resonance(mm(20.0), mm(20.0), 1, 0);
         let freqs: Vec<f64> = (1..=8).map(|k| k as f64 * 0.1 * f10).collect();
         let s_eq = circuit_s21_db(extracted.equivalent(), 0, 1, &freqs, 50.0).unwrap();
@@ -392,13 +388,20 @@ mod tests {
     #[test]
     fn resonances_agree_between_engines() {
         let spec = small_plane();
-        let extracted = spec.extract(&NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
+        let extracted = spec
+            .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+            .unwrap();
         let f10 = spec.pair().cavity_resonance(mm(20.0), mm(20.0), 1, 0);
         let eq_peaks =
             circuit_resonances(extracted.equivalent(), 0, 0.5 * f10, 1.5 * f10, 41).unwrap();
         let fd_peaks = fdtd_resonances(&spec, 0, 0.5 * f10, 1.5 * f10).unwrap();
         assert!(!eq_peaks.is_empty() && !fd_peaks.is_empty());
         let rel = (eq_peaks[0] - fd_peaks[0]).abs() / fd_peaks[0];
-        assert!(rel < 0.1, "eq {:.3e} vs fdtd {:.3e}", eq_peaks[0], fd_peaks[0]);
+        assert!(
+            rel < 0.1,
+            "eq {:.3e} vs fdtd {:.3e}",
+            eq_peaks[0],
+            fd_peaks[0]
+        );
     }
 }

@@ -1,7 +1,6 @@
 //! The distributed R–L‖C equivalent circuit (paper Figure 2, eqs. 20–27).
 
 use crate::reduce::kron_reduce;
-use crate::resonance::find_impedance_peaks;
 use pdn_bem::BemSystem;
 use pdn_circuit::{Circuit, NodeId};
 use pdn_num::{c64, CholeskyDecomposition, LuDecomposition, Matrix};
@@ -226,7 +225,7 @@ impl EquivalentCircuit {
                     .unwrap_or(usize::MAX)
             })
             .collect();
-        if cluster.iter().any(|&c| c == usize::MAX) {
+        if cluster.contains(&usize::MAX) {
             return Err(ExtractCircuitError::NumericalBreakdown(
                 "a net has no retained node for capacitance aggregation".into(),
             ));
@@ -441,7 +440,35 @@ impl EquivalentCircuit {
             .map_err(|e| ExtractCircuitError::NumericalBreakdown(e.to_string()))
     }
 
-    /// Finds the input-impedance resonances at a port, ascending.
+    /// Batched [`impedance`](Self::impedance): one port impedance matrix
+    /// per frequency, computed on [`pdn_num::parallel`] workers with one
+    /// cached admittance factorization per sweep point. Output order
+    /// matches `freqs` and is identical for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-index failing point.
+    pub fn impedance_sweep(&self, freqs: &[f64]) -> Result<Vec<Matrix<c64>>, ExtractCircuitError> {
+        pdn_num::parallel::try_par_map_indexed(freqs.len(), |k| self.impedance(freqs[k]))
+    }
+
+    /// Batched [`s_parameters`](Self::s_parameters) over a frequency
+    /// sweep, parallel per point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-index failing point.
+    pub fn s_parameter_sweep(
+        &self,
+        freqs: &[f64],
+        z0: f64,
+    ) -> Result<Vec<Matrix<c64>>, ExtractCircuitError> {
+        pdn_num::parallel::try_par_map_indexed(freqs.len(), |k| self.s_parameters(freqs[k], z0))
+    }
+
+    /// Finds the input-impedance resonances at a port, ascending. The
+    /// scan grid is solved by [`impedance_sweep`](Self::impedance_sweep),
+    /// so points are evaluated in parallel.
     ///
     /// # Errors
     ///
@@ -453,9 +480,10 @@ impl EquivalentCircuit {
         f_stop: f64,
         points: usize,
     ) -> Result<Vec<f64>, ExtractCircuitError> {
-        find_impedance_peaks(f_start, f_stop, points, |f| {
-            Ok(self.impedance(f)?[(port, port)].norm())
-        })
+        let freqs = crate::resonance::linear_grid(f_start, f_stop, points);
+        let z = self.impedance_sweep(&freqs)?;
+        let mags: Vec<f64> = z.iter().map(|zk| zk[(port, port)].norm()).collect();
+        Ok(crate::resonance::peaks_on_grid(&freqs, &mags))
     }
 
     /// Exports the macromodel into a [`pdn_circuit::Circuit`] with the
@@ -551,8 +579,7 @@ mod tests {
     use pdn_greens::SurfaceImpedance;
 
     fn bem(lossy: bool, ports: &[(f64, f64)]) -> BemSystem {
-        let mut mesh =
-            PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
+        let mut mesh = PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
         for (i, &(x, y)) in ports.iter().enumerate() {
             mesh.bind_port(format!("P{i}"), Point::new(x, y)).unwrap();
         }
@@ -585,8 +612,8 @@ mod tests {
     #[test]
     fn reduced_impedance_tracks_full_solution() {
         let sys = bem(true, &[(mm(2.0), mm(2.0)), (mm(17.0), mm(17.0))]);
-        let eq = EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 })
-            .unwrap();
+        let eq =
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
         // Accuracy degrades gracefully toward the first plane resonance
         // (≈ 3.5 GHz) — the expected macromodel behaviour.
         for &(f, tol) in &[(50e6, 0.01), (500e6, 0.05), (2e9, 0.2)] {
@@ -643,8 +670,7 @@ mod tests {
         let d1 = find(0, 3);
         let d2 = find(1, 2);
         assert!(
-            (d1.inverse_inductance - d2.inverse_inductance).abs()
-                < 1e-6 * d1.inverse_inductance
+            (d1.inverse_inductance - d2.inverse_inductance).abs() < 1e-6 * d1.inverse_inductance
         );
     }
 
@@ -652,8 +678,8 @@ mod tests {
     fn resonance_survives_reduction() {
         let sys = bem(true, &[(mm(1.5), mm(1.5))]);
         let f10 = sys.pair().cavity_resonance(mm(20.0), mm(20.0), 1, 0);
-        let eq = EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 })
-            .unwrap();
+        let eq =
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
         let peaks = eq.find_resonances(0, 0.5 * f10, 1.4 * f10, 61).unwrap();
         assert!(!peaks.is_empty());
         let rel = (peaks[0] - f10).abs() / f10;
@@ -683,8 +709,7 @@ mod tests {
             let z_exact = exact.impedance_matrix(f, &ports).unwrap();
             for i in 0..2 {
                 for j in 0..2 {
-                    let rel =
-                        (z_exact[(i, j)] - z_eq[(i, j)]).norm() / z_eq[(i, j)].norm();
+                    let rel = (z_exact[(i, j)] - z_eq[(i, j)]).norm() / z_eq[(i, j)].norm();
                     assert!(rel < 1e-6, "exact f={f}: rel {rel:.2e}");
                 }
             }
@@ -715,9 +740,7 @@ mod tests {
         let eq =
             EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
         assert!(
-            eq.branches()
-                .iter()
-                .any(|b| b.inverse_inductance < 0.0),
+            eq.branches().iter().any(|b| b.inverse_inductance < 0.0),
             "test premise: reduction produced negative branches"
         );
         let mut ckt = Circuit::new();
@@ -744,8 +767,8 @@ mod tests {
     #[test]
     fn s_parameters_passive() {
         let sys = bem(true, &[(mm(2.0), mm(2.0)), (mm(17.0), mm(17.0))]);
-        let eq = EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 })
-            .unwrap();
+        let eq =
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
         let s = eq.s_parameters(1e9, 50.0).unwrap();
         // Passivity: all |S| entries ≤ 1 for a passive network.
         for i in 0..2 {
@@ -792,8 +815,7 @@ mod dielectric_loss_tests {
     use pdn_greens::SurfaceImpedance;
 
     fn eq_with_tan_d(tan_d: f64) -> (EquivalentCircuit, f64) {
-        let mut mesh =
-            PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
+        let mut mesh = PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
         mesh.bind_port("P", Point::new(mm(1.5), mm(1.5))).unwrap();
         let pair = PlanePair::new(0.5e-3, 4.5)
             .unwrap()
@@ -807,8 +829,7 @@ mod dielectric_loss_tests {
         )
         .unwrap();
         (
-            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 })
-                .unwrap(),
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 }).unwrap(),
             f10,
         )
     }

@@ -50,4 +50,4 @@ pub mod taylor;
 
 pub use circuit::{Branch, EquivalentCircuit, ExtractCircuitError, NodeSelection, Realization};
 pub use reduce::kron_reduce;
-pub use resonance::find_impedance_peaks;
+pub use resonance::{find_impedance_peaks, linear_grid, peaks_on_grid};

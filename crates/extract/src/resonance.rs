@@ -35,35 +35,54 @@ pub fn find_impedance_peaks<E>(
     points: usize,
     mut eval: impl FnMut(f64) -> Result<f64, E>,
 ) -> Result<Vec<f64>, E> {
-    assert!(points >= 3, "need at least three scan points");
-    assert!(
-        f_stop > f_start && f_start > 0.0,
-        "invalid frequency range"
-    );
-    let mut grid = Vec::with_capacity(points);
-    for k in 0..points {
-        let f = f_start + (f_stop - f_start) * k as f64 / (points - 1) as f64;
-        grid.push((f, eval(f)?));
+    let freqs = linear_grid(f_start, f_stop, points);
+    let mut mags = Vec::with_capacity(points);
+    for &f in &freqs {
+        mags.push(eval(f)?);
     }
+    Ok(peaks_on_grid(&freqs, &mags))
+}
+
+/// The linear frequency grid shared by the scan helpers.
+///
+/// # Panics
+///
+/// Panics unless `points >= 3` and `0 < f_start < f_stop`.
+pub fn linear_grid(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 3, "need at least three scan points");
+    assert!(f_stop > f_start && f_start > 0.0, "invalid frequency range");
+    (0..points)
+        .map(|k| f_start + (f_stop - f_start) * k as f64 / (points - 1) as f64)
+        .collect()
+}
+
+/// Local maxima of pre-computed `|z|` samples on a uniform grid, with
+/// parabolic refinement — the detection half of [`find_impedance_peaks`],
+/// usable on grids evaluated in a batched (parallel) sweep.
+///
+/// # Panics
+///
+/// Panics if `freqs` and `mags` differ in length or hold fewer than three
+/// samples.
+pub fn peaks_on_grid(freqs: &[f64], mags: &[f64]) -> Vec<f64> {
+    assert_eq!(freqs.len(), mags.len(), "one magnitude per grid point");
+    assert!(freqs.len() >= 3, "need at least three scan points");
+    let df = freqs[1] - freqs[0];
     let mut peaks = Vec::new();
-    for k in 1..points - 1 {
-        if grid[k].1 > grid[k - 1].1 && grid[k].1 > grid[k + 1].1 {
+    for k in 1..freqs.len() - 1 {
+        if mags[k] > mags[k - 1] && mags[k] > mags[k + 1] {
             // Parabolic refinement of the peak position.
-            let (f0, y0) = grid[k - 1];
-            let (f1, y1) = grid[k];
-            let (_, y2) = grid[k + 1];
+            let (y0, y1, y2) = (mags[k - 1], mags[k], mags[k + 1]);
             let denom = y0 - 2.0 * y1 + y2;
-            let df = grid[1].0 - grid[0].0;
             let shift = if denom.abs() > 0.0 {
                 (0.5 * (y0 - y2) / denom).clamp(-1.0, 1.0)
             } else {
                 0.0
             };
-            let _ = f0;
-            peaks.push(f1 + shift * df);
+            peaks.push(freqs[k] + shift * df);
         }
     }
-    Ok(peaks)
+    peaks
 }
 
 #[cfg(test)]
@@ -84,20 +103,24 @@ mod tests {
 
     #[test]
     fn monotone_function_has_no_peaks() {
-        let peaks =
-            find_impedance_peaks(1.0, 10.0, 10, |f| Ok::<_, Infallible>(f)).unwrap();
+        let peaks = find_impedance_peaks(1.0, 10.0, 10, Ok::<_, Infallible>).unwrap();
         assert!(peaks.is_empty());
     }
 
     #[test]
     fn errors_propagate() {
-        let r = find_impedance_peaks(1.0, 10.0, 5, |f| {
-            if f > 5.0 {
-                Err("boom")
-            } else {
-                Ok(1.0)
-            }
-        });
+        let r = find_impedance_peaks(
+            1.0,
+            10.0,
+            5,
+            |f| {
+                if f > 5.0 {
+                    Err("boom")
+                } else {
+                    Ok(1.0)
+                }
+            },
+        );
         assert_eq!(r.unwrap_err(), "boom");
     }
 

@@ -130,9 +130,9 @@ mod tests {
     use pdn_greens::SurfaceImpedance;
 
     fn eq(lossy: bool) -> EquivalentCircuit {
-        let mut mesh =
-            PlaneMesh::build(&Polygon::rectangle(mm(16.0), mm(16.0)), mm(4.0)).unwrap();
-        mesh.bind_port("VDD1", Point::new(mm(2.0), mm(2.0))).unwrap();
+        let mut mesh = PlaneMesh::build(&Polygon::rectangle(mm(16.0), mm(16.0)), mm(4.0)).unwrap();
+        mesh.bind_port("VDD1", Point::new(mm(2.0), mm(2.0)))
+            .unwrap();
         mesh.bind_port("VDD2", Point::new(mm(14.0), mm(14.0)))
             .unwrap();
         let pair = PlanePair::new(0.5e-3, 4.5).unwrap();
@@ -188,10 +188,7 @@ mod tests {
     #[test]
     fn exact_deck_may_keep_negative_inductors() {
         let e = eq(true);
-        let has_neg = e
-            .branches()
-            .iter()
-            .any(|b| b.inverse_inductance < 0.0);
+        let has_neg = e.branches().iter().any(|b| b.inverse_inductance < 0.0);
         let deck = e.to_spice_subckt("PG", Realization::Exact);
         let any_neg = deck
             .lines()
@@ -205,9 +202,7 @@ mod tests {
         let deck = eq(true).to_spice_subckt("PG", Realization::Passive);
         let mut names: Vec<&str> = deck
             .lines()
-            .filter(|l| {
-                l.starts_with('R') || l.starts_with('L') || l.starts_with('C')
-            })
+            .filter(|l| l.starts_with('R') || l.starts_with('L') || l.starts_with('C'))
             .map(|l| l.split_whitespace().next().expect("name"))
             .collect();
         let total = names.len();
@@ -219,9 +214,10 @@ mod tests {
     #[test]
     fn values_roundtrip_parseable() {
         let deck = eq(true).to_spice_subckt("PG", Realization::Passive);
-        for line in deck.lines().filter(|l| {
-            l.starts_with('R') || l.starts_with('L') || l.starts_with('C')
-        }) {
+        for line in deck
+            .lines()
+            .filter(|l| l.starts_with('R') || l.starts_with('L') || l.starts_with('C'))
+        {
             let v: f64 = line
                 .split_whitespace()
                 .last()

@@ -118,8 +118,7 @@ mod tests {
     use pdn_greens::SurfaceImpedance;
 
     fn model() -> (EquivalentCircuit, f64) {
-        let mut mesh =
-            PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
+        let mut mesh = PlaneMesh::build(&Polygon::rectangle(mm(20.0), mm(20.0)), mm(2.5)).unwrap();
         mesh.bind_port("P1", Point::new(mm(2.0), mm(2.0))).unwrap();
         mesh.bind_port("P2", Point::new(mm(18.0), mm(18.0)))
             .unwrap();
@@ -133,8 +132,7 @@ mod tests {
         )
         .unwrap();
         (
-            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 })
-                .unwrap(),
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 }).unwrap(),
             f10,
         )
     }

@@ -114,7 +114,7 @@ impl PlaneFdtd {
     /// Returns [`BuildFdtdError::BadGrid`] for a non-positive cell size or
     /// a shape with no interior cells.
     pub fn new(shape: &Polygon, pair: &PlanePair, cell: f64) -> Result<Self, BuildFdtdError> {
-        if !(cell > 0.0) || !cell.is_finite() {
+        if !cell.is_finite() || cell <= 0.0 {
             return Err(BuildFdtdError::BadGrid(format!("cell size {cell}")));
         }
         let (min, max) = shape.bounding_box();
@@ -126,10 +126,7 @@ impl PlaneFdtd {
         let mut any = false;
         for j in 0..ny {
             for i in 0..nx {
-                let p = Point::new(
-                    min.x + (i as f64 + 0.5) * dx,
-                    min.y + (j as f64 + 0.5) * dy,
-                );
+                let p = Point::new(min.x + (i as f64 + 0.5) * dx, min.y + (j as f64 + 0.5) * dy);
                 if shape.contains(p) {
                     mask[j * nx + i] = true;
                     any = true;
@@ -175,8 +172,7 @@ impl PlaneFdtd {
     /// clamped to it.
     pub fn with_time_step(mut self, dt: f64) -> Self {
         let v_phase = 1.0 / (self.c_a * self.l_s).sqrt();
-        let cfl = 1.0
-            / (v_phase * (1.0 / (self.dx * self.dx) + 1.0 / (self.dy * self.dy)).sqrt());
+        let cfl = 1.0 / (v_phase * (1.0 / (self.dx * self.dx) + 1.0 / (self.dy * self.dy)).sqrt());
         self.dt = dt.min(cfl).max(1e-18);
         self
     }
@@ -295,8 +291,7 @@ impl PlaneFdtd {
                     if !self.mask[c] {
                         continue;
                     }
-                    let div = (self.ix[j * (nx + 1) + i + 1] - self.ix[j * (nx + 1) + i])
-                        / self.dx
+                    let div = (self.ix[j * (nx + 1) + i + 1] - self.ix[j * (nx + 1) + i]) / self.dx
                         + (self.iy[(j + 1) * nx + i] - self.iy[j * nx + i]) / self.dy;
                     self.v[c] -= dv_fac * div;
                 }
@@ -442,10 +437,7 @@ mod tests {
         let p = sim
             .add_port("p", Point::new(mm(1.0), mm(1.0)), 1e6)
             .unwrap();
-        sim.drive_port(
-            p,
-            Waveform::pulse(0.0, 1.0, 0.0, 30e-12, 30e-12, 20e-12),
-        );
+        sim.drive_port(p, Waveform::pulse(0.0, 1.0, 0.0, 30e-12, 30e-12, 20e-12));
         let res = sim.run(8e-9);
         let (freqs, mags) = real_fft_magnitude(&res.port_voltages[0], sim.dt());
         // Search a window bracketing the (1,0) mode; the corner port also
@@ -590,7 +582,9 @@ mod snapshot_tests {
         let mut sim =
             PlaneFdtd::new(&Polygon::rectangle(mm(10.0), mm(10.0)), &pair, mm(1.0)).unwrap();
         assert_eq!(sim.peak_voltage(), 0.0);
-        let p = sim.add_port("p", Point::new(mm(5.0), mm(5.0)), 10.0).unwrap();
+        let p = sim
+            .add_port("p", Point::new(mm(5.0), mm(5.0)), 10.0)
+            .unwrap();
         sim.drive_port(p, Waveform::step(1.0, 0.0));
         sim.run(0.5e-9);
         assert!(sim.peak_voltage() > 0.1);

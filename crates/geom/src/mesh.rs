@@ -84,7 +84,10 @@ impl fmt::Display for MeshPlaneError {
                 write!(f, "cell size must be positive and finite, got {cell_size}")
             }
             MeshPlaneError::EmptyMesh => {
-                write!(f, "no mesh cells fall inside the shape; cell size too large?")
+                write!(
+                    f,
+                    "no mesh cells fall inside the shape; cell size too large?"
+                )
             }
             MeshPlaneError::PortOutsideShape { name, location } => {
                 write!(f, "port {name} at {location} is not on any conductor")
@@ -146,7 +149,7 @@ impl PlaneMesh {
     ///
     /// See [`MeshPlaneError`].
     pub fn build_multi(shapes: &[Polygon], cell_size: f64) -> Result<Self, MeshPlaneError> {
-        if !(cell_size > 0.0) || !cell_size.is_finite() {
+        if !cell_size.is_finite() || cell_size <= 0.0 {
             return Err(MeshPlaneError::BadCellSize { cell_size });
         }
         // Common bounding box.
@@ -340,7 +343,7 @@ impl PlaneMesh {
                 }
                 if let Some(c) = self.grid[iy as usize * self.nx + ix as usize] {
                     let d = self.centers[c].distance_sq(p);
-                    if best.map_or(true, |(_, bd)| d < bd) {
+                    if best.is_none_or(|(_, bd)| d < bd) {
                         best = Some((c, d));
                     }
                 }
@@ -388,9 +391,10 @@ impl PlaneMesh {
     /// Returns `(link, (cell_a, +1.0), (cell_b, -1.0))` triplets flattened
     /// as an iterator of `(link_index, cell_index, sign)`.
     pub fn incidence(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.links.iter().enumerate().flat_map(|(l, link)| {
-            [(l, link.a, 1.0), (l, link.b, -1.0)].into_iter()
-        })
+        self.links
+            .iter()
+            .enumerate()
+            .flat_map(|(l, link)| [(l, link.a, 1.0), (l, link.b, -1.0)].into_iter())
     }
 
     /// Number of distinct nets in the mesh.

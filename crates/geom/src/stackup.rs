@@ -9,6 +9,7 @@
 //! per-square inductance used throughout the solvers.
 
 use pdn_num::phys::{EPS0, MU0};
+use std::cmp::Ordering;
 use std::error::Error;
 use std::fmt;
 
@@ -100,13 +101,13 @@ impl PlanePair {
     ///
     /// Returns an error unless both `separation` and `eps_r` are positive.
     pub fn new(separation: f64, eps_r: f64) -> Result<Self, InvalidPlanePairError> {
-        if !(separation > 0.0) {
+        if separation.partial_cmp(&0.0) != Some(Ordering::Greater) {
             return Err(InvalidPlanePairError {
                 what: "separation",
                 value: separation,
             });
         }
-        if !(eps_r > 0.0) {
+        if eps_r.partial_cmp(&0.0) != Some(Ordering::Greater) {
             return Err(InvalidPlanePairError {
                 what: "eps_r",
                 value: eps_r,
@@ -239,7 +240,11 @@ mod tests {
         // v = c0/2 in εr = 4.
         assert!(approx_eq(p.phase_velocity(), C0 / 2.0, 1e-6));
         // C_a = ε0·4/1mm
-        assert!(approx_eq(p.capacitance_per_area(), EPS0 * 4.0 / 1e-3, 1e-12));
+        assert!(approx_eq(
+            p.capacitance_per_area(),
+            EPS0 * 4.0 / 1e-3,
+            1e-12
+        ));
         assert!(approx_eq(p.inductance_per_square(), MU0 * 1e-3, 1e-18));
     }
 

@@ -90,7 +90,10 @@ impl LayeredKernel {
         let c = 1.0 / (4.0 * PI * EPS0 * eps_r);
         LayeredKernel {
             terms: vec![
-                ImageTerm { coeff: c, depth: 0.0 },
+                ImageTerm {
+                    coeff: c,
+                    depth: 0.0,
+                },
                 ImageTerm {
                     coeff: -c,
                     depth: 2.0 * d,
@@ -136,7 +139,10 @@ impl LayeredKernel {
         let c = MU0 / (4.0 * PI);
         LayeredKernel {
             terms: vec![
-                ImageTerm { coeff: c, depth: 0.0 },
+                ImageTerm {
+                    coeff: c,
+                    depth: 0.0,
+                },
                 ImageTerm {
                     coeff: -c,
                     depth: 2.0 * d,
@@ -280,17 +286,13 @@ mod tests {
         let mut v = 0.0;
         let r_big = 1.0; // 1 m disc ≈ infinite for µm-scale h
         for t in g.terms() {
-            let integral = 2.0 * PI
-                * ((r_big * r_big + t.depth * t.depth).sqrt() - t.depth);
+            let integral = 2.0 * PI * ((r_big * r_big + t.depth * t.depth).sqrt() - t.depth);
             v += t.coeff * integral;
         }
         // Subtract the common 2πR part? No: the pairs (+,−) cancel the R
         // dependence exactly; what is left is Σ c·2π(a_minus − a_plus).
         let expect = h / (EPS0 * eps_r);
-        assert!(
-            approx_eq(v, expect, 1e-3),
-            "v={v}, parallel-plate={expect}"
-        );
+        assert!(approx_eq(v, expect, 1e-3), "v={v}, parallel-plate={expect}");
     }
 
     #[test]

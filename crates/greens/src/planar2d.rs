@@ -141,8 +141,7 @@ mod tests {
         let h = 1e-3;
         let g = Microstrip2d::new(1.0, h);
         for &x in &[0.5e-3, 1e-3, 3e-3] {
-            let expect = (1.0 / (2.0 * PI * EPS0))
-                * ((x * x + 4.0 * h * h).sqrt() / x).ln();
+            let expect = (1.0 / (2.0 * PI * EPS0)) * ((x * x + 4.0 * h * h).sqrt() / x).ln();
             assert!(approx_eq(g.eval(x), expect, 1e-10), "x={x}");
         }
     }

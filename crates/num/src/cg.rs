@@ -199,7 +199,7 @@ mod tests {
         // An ill-conditioned SPD system with a tiny iteration budget.
         let mut a = spd(20);
         a[(0, 0)] += 1e9;
-        match solve_spd(&a, &vec![1.0; 20], 1e-14, 2) {
+        match solve_spd(&a, &[1.0; 20], 1e-14, 2) {
             Err(IterativeSolveError::NotConverged { iterations, .. }) => {
                 assert_eq!(iterations, 2);
             }

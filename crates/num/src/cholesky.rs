@@ -97,15 +97,15 @@ impl CholeskyDecomposition {
         let mut y = b.to_vec();
         for i in 0..n {
             let mut s = y[i];
-            for k in 0..i {
-                s -= self.l[(i, k)] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                s -= self.l[(i, k)] * yk;
             }
             y[i] = s / self.l[(i, i)];
         }
         for i in (0..n).rev() {
             let mut s = y[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * y[k];
+            for (k, &yk) in y.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * yk;
             }
             y[i] = s / self.l[(i, i)];
         }
@@ -131,8 +131,8 @@ impl CholeskyDecomposition {
         let mut y = b.to_vec();
         for i in 0..n {
             let mut s = y[i];
-            for k in 0..i {
-                s -= self.l[(i, k)] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                s -= self.l[(i, k)] * yk;
             }
             y[i] = s / self.l[(i, i)];
         }
@@ -156,8 +156,8 @@ impl CholeskyDecomposition {
         let mut x = b.to_vec();
         for i in (0..n).rev() {
             let mut s = x[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * xk;
             }
             x[i] = s / self.l[(i, i)];
         }

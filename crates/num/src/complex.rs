@@ -211,6 +211,8 @@ impl Mul for c64 {
 }
 impl Div for c64 {
     type Output = c64;
+    // Division via the conjugate reciprocal is the whole point here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, o: c64) -> c64 {
         self * o.recip()

@@ -212,11 +212,7 @@ mod tests {
 
     #[test]
     fn eigenpairs_satisfy_definition() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -0.25],
-            &[0.5, -0.25, 5.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.25], &[0.5, -0.25, 5.0]]);
         let e = symmetric_eigen(&a).unwrap();
         for k in 0..3 {
             let v = e.vectors.col(k);

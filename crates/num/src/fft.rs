@@ -158,7 +158,9 @@ mod tests {
 
     #[test]
     fn parseval_energy_conserved() {
-        let orig: Vec<c64> = (0..32).map(|i| c64::new((i as f64 * 0.3).sin(), 0.0)).collect();
+        let orig: Vec<c64> = (0..32)
+            .map(|i| c64::new((i as f64 * 0.3).sin(), 0.0))
+            .collect();
         let time_energy: f64 = orig.iter().map(|z| z.norm_sqr()).sum();
         let mut x = orig;
         fft(&mut x);
@@ -171,7 +173,12 @@ mod tests {
         let n = 64;
         let k0 = 5;
         let mut x: Vec<c64> = (0..n)
-            .map(|i| c64::from_polar(1.0, 2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64))
+            .map(|i| {
+                c64::from_polar(
+                    1.0,
+                    2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64,
+                )
+            })
             .collect();
         fft(&mut x);
         for (k, z) in x.iter().enumerate() {

@@ -33,6 +33,7 @@ pub mod eigen;
 pub mod fft;
 pub mod lu;
 pub mod matrix;
+pub mod parallel;
 pub mod phys;
 pub mod quadrature;
 pub mod scalar;

@@ -171,15 +171,15 @@ impl<T: Scalar> LuDecomposition<T> {
         let mut x: Vector<T> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s;
         }
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s / self.lu[(i, i)];
         }
@@ -360,7 +360,10 @@ mod tests {
         let lu = LuDecomposition::new(Matrix::<f64>::identity(3)).unwrap();
         assert_eq!(
             lu.solve(&[1.0, 2.0]).unwrap_err(),
-            SolveMatrixError::DimensionMismatch { expected: 3, got: 2 }
+            SolveMatrixError::DimensionMismatch {
+                expected: 3,
+                got: 2
+            }
         );
     }
 
@@ -369,7 +372,9 @@ mod tests {
         // Deterministic pseudo-random fill (LCG) keeps the test hermetic.
         let mut state: u64 = 0x243F_6A88_85A3_08D3;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         let n = 30;

@@ -70,7 +70,11 @@ impl<T: Scalar> Matrix<T> {
             assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` at every position.

@@ -1,0 +1,226 @@
+//! Std-only scoped-thread parallel mapping for sweep-shaped workloads.
+//!
+//! Every frequency-domain hot path in the toolkit — BEM matrix assembly,
+//! impedance/admittance sweeps, AC analysis, S-parameter extraction, the
+//! SSN switching sweep — is an embarrassingly parallel loop over
+//! independent dense solves. This module is the shared execution substrate
+//! for those loops:
+//!
+//! * [`par_map`] / [`par_map_indexed`] fan a closure out over
+//!   [`std::thread::scope`] workers pulling indices from an atomic
+//!   counter (dynamic load balancing for skewed per-item cost, e.g.
+//!   upper-triangular assembly rows);
+//! * [`try_par_map_indexed`] is the fallible variant used by sweeps whose
+//!   per-point solve can fail — the error for the **lowest** failing index
+//!   is returned, independent of thread scheduling;
+//! * results are always returned in input order, so output is
+//!   **bit-identical for any worker count**: each item is computed exactly
+//!   once by one thread, with no reduction-order ambiguity.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`] and
+//! can be pinned with the `PDN_THREADS` environment variable (`PDN_THREADS=1`
+//! recovers the serial path exactly, including allocation behavior).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Number of workers used by the `par_*` functions: the `PDN_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if that fails).
+///
+/// # Examples
+///
+/// ```
+/// assert!(pdn_num::parallel::worker_count() >= 1);
+/// ```
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("PDN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Maps `f` over `0..n` on [`worker_count`] scoped threads, returning the
+/// results in index order.
+///
+/// The per-index closures run concurrently but each index is evaluated
+/// exactly once, so the output is identical to `(0..n).map(f).collect()`
+/// for every thread count. With one worker (or `n <= 1`) no threads are
+/// spawned at all.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread.
+///
+/// # Examples
+///
+/// ```
+/// let squares = pdn_num::parallel::par_map_indexed(8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = worker_count().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let shards: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for shard in shards {
+        for (i, r) in shard {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// Maps `f` over a slice in parallel, preserving input order.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread.
+///
+/// # Examples
+///
+/// ```
+/// let doubled = pdn_num::parallel::par_map(&[1.0, 2.0, 3.0], |x| 2.0 * x);
+/// assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Fallible [`par_map_indexed`]: maps `f` over `0..n` in parallel and
+/// returns all results in order, or the error of the **lowest** failing
+/// index (deterministic regardless of thread scheduling).
+///
+/// All indices are evaluated even when an early one fails; sweeps are
+/// short enough that deterministic error selection is worth the wasted
+/// points on the (rare) failure path.
+///
+/// # Errors
+///
+/// Returns the error produced at the smallest index for which `f` failed.
+///
+/// # Examples
+///
+/// ```
+/// let r: Result<Vec<usize>, String> =
+///     pdn_num::parallel::try_par_map_indexed(4, |i| if i == 2 { Err("boom".into()) } else { Ok(i) });
+/// assert_eq!(r, Err("boom".into()));
+/// ```
+pub fn try_par_map_indexed<R, E, F>(n: usize, f: F) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize) -> Result<R, E> + Sync,
+{
+    let mut out = Vec::with_capacity(n);
+    let mut first_err: Option<E> = None;
+    for r in par_map_indexed(n, f) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_serial_map() {
+        let serial: Vec<usize> = (0..1000).map(|i| i * 3 + 1).collect();
+        assert_eq!(par_map_indexed(1000, |i| i * 3 + 1), serial);
+    }
+
+    #[test]
+    fn par_map_over_slice() {
+        let items: Vec<f64> = (0..257).map(|i| i as f64).collect();
+        let out = par_map(&items, |x| x.sqrt());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as f64).sqrt());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn try_variant_returns_lowest_index_error() {
+        let r: Result<Vec<usize>, usize> =
+            try_par_map_indexed(64, |i| if i % 10 == 9 { Err(i) } else { Ok(i) });
+        assert_eq!(r, Err(9));
+        let ok: Result<Vec<usize>, usize> = try_par_map_indexed(64, Ok);
+        assert_eq!(ok.unwrap().len(), 64);
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panic_propagates() {
+        // Force multiple workers so the panic crosses a thread boundary;
+        // under PDN_THREADS=1 the closure panic surfaces directly, so this
+        // test asserts on the message only when threads are in play.
+        if worker_count() == 1 {
+            panic!("parallel worker panicked (serial fallback)");
+        }
+        par_map_indexed(64, |i| {
+            if i == 13 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -147,7 +147,11 @@ mod tests {
         for n in 1..=8 {
             let rule = GaussLegendre::new(n);
             for d in 0..(2 * n) {
-                let exact = if d % 2 == 0 { 2.0 / (d as f64 + 1.0) } else { 0.0 };
+                let exact = if d % 2 == 0 {
+                    2.0 / (d as f64 + 1.0)
+                } else {
+                    0.0
+                };
                 let got = rule.integrate(-1.0, 1.0, |x| x.powi(d as i32));
                 assert!(approx_eq(got, exact, 1e-12), "n={n} degree={d}");
             }

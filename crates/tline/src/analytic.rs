@@ -49,8 +49,7 @@ pub fn microstrip_z0(w: f64, h: f64, eps_r: f64) -> f64 {
     if u <= 1.0 {
         60.0 / ee.sqrt() * (8.0 / u + 0.25 * u).ln()
     } else {
-        120.0 * std::f64::consts::PI
-            / (ee.sqrt() * (u + 1.393 + 0.667 * (u + 1.444).ln()))
+        120.0 * std::f64::consts::PI / (ee.sqrt() * (u + 1.393 + 0.667 * (u + 1.444).ln()))
     }
 }
 

@@ -95,7 +95,10 @@ impl MicrostripArray {
     /// Panics for empty strips, non-positive widths/height, or `eps_r < 1`.
     pub fn from_strips(strips: Vec<(f64, f64)>, h: f64, eps_r: f64) -> Self {
         assert!(!strips.is_empty(), "need at least one strip");
-        assert!(strips.iter().all(|&(_, w)| w > 0.0), "widths must be positive");
+        assert!(
+            strips.iter().all(|&(_, w)| w > 0.0),
+            "widths must be positive"
+        );
         assert!(h > 0.0 && eps_r >= 1.0, "invalid substrate");
         MicrostripArray {
             strips,
@@ -154,8 +157,7 @@ impl MicrostripArray {
         let p = Matrix::from_fn(total, total, |i, j| {
             kernel.segment_integral(centers[i], centers[j], widths[j]) / widths[j]
         });
-        let lu = LuDecomposition::new(p)
-            .map_err(|e| ExtractLineError::Singular(e.to_string()))?;
+        let lu = LuDecomposition::new(p).map_err(|e| ExtractLineError::Singular(e.to_string()))?;
         let mut c = Matrix::<f64>::zeros(n_str, n_str);
         for exc in 0..n_str {
             let v: Vec<f64> = (0..total)
@@ -199,8 +201,7 @@ impl MicrostripArray {
     /// Returns [`ExtractLineError`] when `C₀` cannot be inverted.
     pub fn inductance_matrix(&self) -> Result<Matrix<f64>, ExtractLineError> {
         let c0 = self.air_capacitance_matrix()?;
-        let inv = pdn_num::lu::invert(c0)
-            .map_err(|e| ExtractLineError::Singular(e.to_string()))?;
+        let inv = pdn_num::lu::invert(c0).map_err(|e| ExtractLineError::Singular(e.to_string()))?;
         let n = inv.nrows();
         Ok(Matrix::from_fn(n, n, |i, j| {
             MU0 * EPS0 * 0.5 * (inv[(i, j)] + inv[(j, i)])
@@ -263,8 +264,7 @@ mod tests {
     fn z0_matches_hammerstad_wide_strip() {
         for &(w_over_h, eps_r) in &[(2.0, 4.5), (1.0, 4.5), (3.0, 9.6), (0.8, 2.2)] {
             let h = 1e-3;
-            let line = MicrostripArray::uniform(1, w_over_h * h, 0.0, h, eps_r)
-                .with_segments(40);
+            let line = MicrostripArray::uniform(1, w_over_h * h, 0.0, h, eps_r).with_segments(40);
             let z_mom = line.characteristic_impedance().unwrap();
             let z_ham = analytic::microstrip_z0(w_over_h * h, h, eps_r);
             let rel = (z_mom - z_ham).abs() / z_ham;
@@ -281,7 +281,10 @@ mod tests {
         let ee = line.effective_permittivity().unwrap();
         assert!(ee > 1.0 && ee < 4.5, "eps_eff = {ee}");
         let ee_ham = analytic::microstrip_eps_eff(2e-3, 1e-3, 4.5);
-        assert!(approx_eq(ee, ee_ham, 0.05), "MoM {ee} vs Hammerstad {ee_ham}");
+        assert!(
+            approx_eq(ee, ee_ham, 0.05),
+            "MoM {ee} vs Hammerstad {ee_ham}"
+        );
     }
 
     #[test]
@@ -304,7 +307,10 @@ mod tests {
         };
         let k_close = k(0.5e-3);
         let k_far = k(4e-3);
-        assert!(k_close > k_far, "inductive coupling decays: {k_close} vs {k_far}");
+        assert!(
+            k_close > k_far,
+            "inductive coupling decays: {k_close} vs {k_far}"
+        );
         assert!(k_close > 0.0 && k_close < 1.0);
     }
 

@@ -119,10 +119,7 @@ mod tests {
         let model = paper_pair();
         let res = run(&model);
         // Launch amplitude ≈ 5·Z0/(Z0+50); with Z0 near 50 it is near 2.5 V.
-        let peak_near = res
-            .active_near
-            .iter()
-            .fold(0.0f64, |m, &v| m.max(v));
+        let peak_near = res.active_near.iter().fold(0.0f64, |m, &v| m.max(v));
         assert!(peak_near > 1.0 && peak_near < 5.0, "launch {peak_near}");
     }
 
@@ -158,7 +155,10 @@ mod tests {
         assert!(next_max > 0.01, "NEXT positive plateau: {next_max}");
         assert!(next_min > -0.1 * next_max, "NEXT stays positive");
         assert!(fext_min < -0.05, "FEXT negative spike: {fext_min}");
-        assert!(fext_max < 0.1 * fext_min.abs(), "FEXT predominantly negative");
+        assert!(
+            fext_max < 0.1 * fext_min.abs(),
+            "FEXT predominantly negative"
+        );
     }
 
     #[test]

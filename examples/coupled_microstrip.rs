@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let length = 0.25; // quarter-meter lines: ~1.4 ns delay
     let model = pair.line_model(length)?;
-    println!(
-        "\nmodal analysis (length {:.2} m):",
-        length
-    );
+    println!("\nmodal analysis (length {:.2} m):", length);
     for (k, (&v, &tau)) in model.velocities().iter().zip(model.delays()).enumerate() {
         println!("  mode {k}: v = {:.4e} m/s, delay = {:.3} ns", v, tau * 1e9);
     }

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
     let plan = optimize_decaps(&board, &candidates, &settings)?;
 
-    println!("baseline plane noise: {:.3} V (margin: {:.2} V)", plan.baseline_noise, settings.target_noise);
+    println!(
+        "baseline plane noise: {:.3} V (margin: {:.2} V)",
+        plan.baseline_noise, settings.target_noise
+    );
     println!("\ngreedy placement history:");
     println!("  step   site   location [inch]        noise after [V]");
     for (step, s) in plan.history.iter().enumerate() {
@@ -52,7 +55,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         "\nresult: {} capacitors, noise {:.3} V, margin {}",
         plan.chosen.len(),
         plan.final_noise(),
-        if plan.target_met { "MET" } else { "not met with this budget" }
+        if plan.target_met {
+            "MET"
+        } else {
+            "not met with this budget"
+        }
     );
     println!(
         "reduction: {:.0}% with {} of {} candidate sites used",

@@ -16,9 +16,8 @@ fn specs() -> Result<(PlaneSpec, PlaneSpec), ExtractPlaneError> {
     let solid_shape = Polygon::rectangle(mm(40.0), mm(24.0));
     // A 24 mm long, 2 mm wide slot cut from the bottom edge upward at
     // x = 19..21 mm, leaving only a 4 mm bridge at the top.
-    let slotted_shape = Polygon::rectangle(mm(40.0), mm(24.0)).with_hole(
-        Polygon::rectangle_at(mm(19.0), mm(-1.0), mm(2.0), mm(21.0)).into_outer(),
-    );
+    let slotted_shape = Polygon::rectangle(mm(40.0), mm(24.0))
+        .with_hole(Polygon::rectangle_at(mm(19.0), mm(-1.0), mm(2.0), mm(21.0)).into_outer());
     let build = |shape: Polygon| -> Result<PlaneSpec, ExtractPlaneError> {
         Ok(PlaneSpec::from_shape(shape, 0.4e-3, 4.4)?
             .with_sheet_resistance(1e-3)
@@ -66,8 +65,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let stim = Waveform::pulse(0.0, 5.0, 0.05e-9, 0.15e-9, 0.15e-9, 0.6e-9);
     let cmp_solid =
         verify::transient_comparison(&solid, &ex_solid, 0, 1, stim.clone(), 50.0, 3e-9, 2e-12)?;
-    let cmp_slot =
-        verify::transient_comparison(&slotted, &ex_slot, 0, 1, stim, 50.0, 3e-9, 2e-12)?;
+    let cmp_slot = verify::transient_comparison(&slotted, &ex_slot, 0, 1, stim, 50.0, 3e-9, 2e-12)?;
 
     let arrival = |time: &[f64], v: &[f64]| -> f64 {
         let peak = v.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
@@ -102,7 +100,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .with_loss(2.0 * slotted.sheet_resistance());
     let pa = sim.add_port("A", Point::new(mm(8.0), mm(6.0)), 50.0)?;
     let _pb = sim.add_port("B", Point::new(mm(32.0), mm(6.0)), 50.0)?;
-    sim.drive_port(pa, Waveform::pulse(0.0, 5.0, 0.05e-9, 0.15e-9, 0.15e-9, 0.6e-9));
+    sim.drive_port(
+        pa,
+        Waveform::pulse(0.0, 5.0, 0.05e-9, 0.15e-9, 0.15e-9, 0.6e-9),
+    );
     sim.run(0.45e-9);
     let (nx, ny, map) = sim.voltage_map();
     let peak = sim.peak_voltage().max(1e-12);

@@ -14,9 +14,7 @@ use std::error::Error;
 fn main() -> Result<(), Box<dyn Error>> {
     println!("== paper Example 1: L-shaped microstrip patch resonances ==\n");
     let spec = boards::lshape_patch()?;
-    println!(
-        "patch: L-shape 90 x 90 mm (45 x 45 notch), h = 0.787 mm, eps_r = 2.33"
-    );
+    println!("patch: L-shape 90 x 90 mm (45 x 45 notch), h = 0.787 mm, eps_r = 2.33");
     println!("port A at the inner corner\n");
 
     let extracted = spec.extract(&NodeSelection::PortsAndGrid { stride: 2 })?;
@@ -35,11 +33,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     let fd_peaks = verify::fdtd_resonances(&spec, 0, f_lo, f_hi)?;
     println!(
         "\nall impedance peaks (GHz): circuit {:?}",
-        eq_peaks.iter().map(|f| (f / 1e7).round() / 100.0).collect::<Vec<_>>()
+        eq_peaks
+            .iter()
+            .map(|f| (f / 1e7).round() / 100.0)
+            .collect::<Vec<_>>()
     );
     println!(
         "ring-down spectral peaks (GHz): FDTD {:?}",
-        fd_peaks.iter().map(|f| (f / 1e7).round() / 100.0).collect::<Vec<_>>()
+        fd_peaks
+            .iter()
+            .map(|f| (f / 1e7).round() / 100.0)
+            .collect::<Vec<_>>()
     );
     let (f_eq, _) = verify::circuit_strongest_peak(eq, 0, f_lo, f_hi, 96)?;
     let f_fd = verify::fdtd_strongest_peak(&spec, 0, f_lo, f_hi)?;
@@ -49,9 +53,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         f_fd / 1e9,
         100.0 * (f_eq - f_fd) / f_fd
     );
-    println!(
-        "paper's comparison: f0 = 1.02 vs 0.997 GHz (+2.3%), f1 = 1.65 vs 1.56 GHz (+5.8%)"
-    );
+    println!("paper's comparison: f0 = 1.02 vs 0.997 GHz (+2.3%), f1 = 1.65 vs 1.56 GHz (+5.8%)");
     println!("expected: a few percent deviation between the circuit and the reference");
     println!("(sign differs here: the confined-FDTD reference has no fringing, so it");
     println!("biases high where the paper's full-wave reference biased low; DESIGN.md).");

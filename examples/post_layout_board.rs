@@ -33,11 +33,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("  chip     noise     chip     noise");
     for k in (0..board.chips.len()).step_by(2) {
         let second = if k + 1 < board.chips.len() {
-            format!(
-                "  U{:<6} {:>6.3}",
-                k + 2,
-                out.per_chip_peak[k + 1]
-            )
+            format!("  U{:<6} {:>6.3}", k + 2, out.per_chip_peak[k + 1])
         } else {
             String::new()
         };

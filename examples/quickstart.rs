@@ -18,9 +18,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         .with_port("P4", mm(18.0), mm(18.0));
 
     println!("== pdn quickstart: plane-pair extraction ==\n");
-    println!(
-        "structure: 20 x 20 mm plane, d = 0.5 mm, eps_r = 4.5, Rs = 1 mOhm/sq"
-    );
+    println!("structure: 20 x 20 mm plane, d = 0.5 mm, eps_r = 4.5, Rs = 1 mOhm/sq");
 
     let extracted = spec.extract(&NodeSelection::PortsOnly)?;
     let eq = extracted.equivalent();

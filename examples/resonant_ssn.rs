@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         let cycles = (t_stop / period).ceil() as usize + 2;
         let chip = ChipSpec::cmos("U1", Point::new(mm(30.0), mm(30.0)), 8)
             .with_data(Waveform::clock(period, edge, cycles));
-        let board = BoardSpec::new(plane.clone(), 3.3, Point::new(mm(4.0), mm(4.0)))
-            .with_chip(chip);
+        let board =
+            BoardSpec::new(plane.clone(), 3.3, Point::new(mm(4.0), mm(4.0))).with_chip(chip);
         let out = board.build(&sel, 8)?.run(t_stop, dt)?;
         // Steady-state ring at the die rail over the second half of the
         // run (start-up transient excluded).

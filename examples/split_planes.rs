@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Cross-net coupling: the moat blocks DC but not fields.
     let eq = extracted.equivalent();
-    println!("\nextracted {}-node macromodel across both nets", eq.node_count());
+    println!(
+        "\nextracted {}-node macromodel across both nets",
+        eq.node_count()
+    );
     let (p0, p1) = (eq.port_node(0), eq.port_node(1));
     let cross = eq
         .branches()
@@ -46,7 +49,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     match cross {
         Some(br) => {
             println!("cross-net branch VCC0-VCC1:");
-            println!("  DC conductance : {:.3e} S (0 = no galvanic path)", br.conductance);
+            println!(
+                "  DC conductance : {:.3e} S (0 = no galvanic path)",
+                br.conductance
+            );
             println!("  mutual capacitance : {:.4} pF", br.capacitance * 1e12);
             println!(
                 "  magnetic coupling (inverse inductance): {:.3e} 1/H",

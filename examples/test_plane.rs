@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("ports: P1..P5 on 8 mm pitch\n");
 
     // The paper used a 42-node equivalent circuit.
-    let probe_mesh = PlaneMesh::build(
-        spec.single_shape()?,
-        spec.cell_size(),
-    )?;
+    let probe_mesh = PlaneMesh::build(spec.single_shape()?, spec.cell_size())?;
     let stride = stride_for_node_budget(&probe_mesh, 42);
     let extracted = spec.extract(&NodeSelection::PortsAndGrid { stride })?;
     let eq = extracted.equivalent();
@@ -42,13 +39,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\n|S21| P1->P2 (dB)  [paper Fig. 7]:");
     println!("  f [GHz]   equivalent-circuit   FDTD reference   delta [dB]");
     for ((f, a), b) in freqs.iter().zip(&s_eq).zip(&s_fd) {
-        println!(
-            "  {:>6.1} {:>17.2} {:>16.2} {:>11.2}",
-            f / 1e9,
-            a,
-            b,
-            a - b
-        );
+        println!("  {:>6.1} {:>17.2} {:>16.2} {:>11.2}", f / 1e9, a, b, a - b);
     }
     // dB differences explode near the deep nulls between plane modes, so
     // summarize in linear magnitude.

@@ -37,7 +37,10 @@ fn bem_capacitance_refinement() {
     }
     // The three estimates agree with each other to a few percent — the
     // collocation capacitance is nearly mesh-converged at these sizes.
-    assert!((coarse - fine).abs() / fine < 0.05, "{coarse:.3e} vs {fine:.3e}");
+    assert!(
+        (coarse - fine).abs() / fine < 0.05,
+        "{coarse:.3e} vs {fine:.3e}"
+    );
     assert!((medium - fine).abs() / fine < 0.03);
 }
 
@@ -52,9 +55,7 @@ fn bem_resonance_refinement() {
             .with_sheet_resistance(2e-3)
             .with_cell_size(a / cells as f64)
             .with_port("P", 0.07 * a, 0.07 * a);
-        let ex = spec
-            .extract(&NodeSelection::All)
-            .expect("extractable");
+        let ex = spec.extract(&NodeSelection::All).expect("extractable");
         let f10 = ex.bem().pair().cavity_resonance(a, a, 1, 0);
         ex.bem()
             .find_resonances(0, 0.6 * f10, 1.4 * f10, 41)
@@ -147,8 +148,7 @@ fn integration_order_on_rc() {
     let wt = omega * tau;
     let denom = 1.0 + wt * wt;
     let analytic = |t: f64| {
-        ((omega * t).sin() - wt * (omega * t).cos()) / denom
-            + wt / denom * (-t / tau).exp()
+        ((omega * t).sin() - wt * (omega * t).cos()) / denom + wt / denom * (-t / tau).exp()
     };
     let run = |dt: f64, integ: Integration| -> f64 {
         let mut ckt = Circuit::new();

@@ -11,8 +11,11 @@ fn board() -> BoardSpec {
         .expect("valid pair")
         .with_sheet_resistance(1e-3)
         .with_cell_size(mm(5.0));
-    BoardSpec::new(plane, 3.3, Point::new(mm(4.0), mm(4.0)))
-        .with_chip(ChipSpec::cmos("U1", Point::new(mm(38.0), mm(28.0)), 4))
+    BoardSpec::new(plane, 3.3, Point::new(mm(4.0), mm(4.0))).with_chip(ChipSpec::cmos(
+        "U1",
+        Point::new(mm(38.0), mm(28.0)),
+        4,
+    ))
 }
 
 #[test]
@@ -23,8 +26,14 @@ fn driver_switching_couples_into_the_plane() {
     let out = sys.run(18e-9, 0.05e-9).expect("runnable");
     // The driver output toggles rail to rail.
     let out_max = out.driver_output.iter().fold(0.0f64, |m, &v| m.max(v));
-    let out_min = out.driver_output.iter().fold(f64::INFINITY, |m, &v| m.min(v));
-    assert!(out_max > 2.8 && out_min < 0.4, "full swing: {out_min}..{out_max}");
+    let out_min = out
+        .driver_output
+        .iter()
+        .fold(f64::INFINITY, |m, &v| m.min(v));
+    assert!(
+        out_max > 2.8 && out_min < 0.4,
+        "full swing: {out_min}..{out_max}"
+    );
     // The plane sees the event.
     assert!(out.plane_noise_peak > 0.01);
     // And the supply delivers a transient.
@@ -58,9 +67,7 @@ fn rail_noise_disturbs_a_victim_line() {
     // Re-run through the raw circuit to probe the victim node.
     let res = sys
         .circuit()
-        .transient(
-            &TransientSpec::new(18e-9, 0.05e-9).with_settle(400.0 * 0.05e-9),
-        )
+        .transient(&TransientSpec::new(18e-9, 0.05e-9).with_settle(400.0 * 0.05e-9))
         .expect("runnable");
     let v_peak = res
         .voltage(victim_far)
@@ -108,10 +115,7 @@ fn board_impedance_shows_decap_in_frequency_domain() {
         ckt.impedance_matrix(f, &[chip_node]).expect("solvable")[(0, 0)].norm()
     };
     let bare = board();
-    let decapped = board().with_decap(DecapSpec::ceramic_100nf(Point::new(
-        mm(36.0),
-        mm(28.0),
-    )));
+    let decapped = board().with_decap(DecapSpec::ceramic_100nf(Point::new(mm(36.0), mm(28.0))));
     // Around 10–30 MHz the 100 nF cap dominates the board impedance.
     let f = 20e6;
     let z_bare = impedance_at_chip(&bare, f);
@@ -124,7 +128,9 @@ fn board_impedance_shows_decap_in_frequency_domain() {
 
 #[test]
 fn partition_counts_scale_with_board_contents() {
-    let small = board().build(&NodeSelection::PortsOnly, 1).expect("buildable");
+    let small = board()
+        .build(&NodeSelection::PortsOnly, 1)
+        .expect("buildable");
     let big = board()
         .with_chip(ChipSpec::cmos("U2", Point::new(mm(10.0), mm(30.0)), 8))
         .with_decap(DecapSpec::ceramic_100nf(Point::new(mm(25.0), mm(20.0))))

@@ -60,9 +60,8 @@ fn circuit_and_fdtd_transients_overlay() {
         .extract(&NodeSelection::PortsAndGrid { stride: 2 })
         .expect("extractable");
     let stim = Waveform::pulse(0.0, 3.0, 0.1e-9, 0.2e-9, 0.2e-9, 0.8e-9);
-    let cmp =
-        verify::transient_comparison(&spec, &extracted, 0, 1, stim, 50.0, 4e-9, 2e-12)
-            .expect("comparable");
+    let cmp = verify::transient_comparison(&spec, &extracted, 0, 1, stim, 50.0, 4e-9, 2e-12)
+        .expect("comparable");
     assert!(cmp.fdtd_peak() > 0.03, "signal crosses the plane");
     let rel = cmp.rms_difference() / cmp.fdtd_peak();
     assert!(rel < 0.35, "engines overlay: rms/peak = {rel:.3}");

@@ -50,9 +50,7 @@ fn voltage_source_loop_is_singular_not_a_hang() {
     ckt.voltage_source(a, Circuit::GND, Waveform::dc(1.0));
     ckt.voltage_source(a, Circuit::GND, Waveform::dc(2.0));
     ckt.resistor(a, Circuit::GND, 1.0);
-    let err = ckt
-        .transient(&TransientSpec::new(1e-9, 1e-10))
-        .unwrap_err();
+    let err = ckt.transient(&TransientSpec::new(1e-9, 1e-10)).unwrap_err();
     assert!(err.to_string().contains("singular"));
 }
 

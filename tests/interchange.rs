@@ -35,11 +35,7 @@ fn spice_deck_matches_port_interface_and_counts() {
         .count();
     assert_eq!(l_cards, pos_l);
     let c_cards = deck.lines().filter(|l| l.starts_with('C')).count();
-    let branch_c = eq
-        .branches()
-        .iter()
-        .filter(|b| b.capacitance > 0.0)
-        .count();
+    let branch_c = eq.branches().iter().filter(|b| b.capacitance > 0.0).count();
     let shunt_c = (0..eq.node_count())
         .filter(|&m| eq.shunt_capacitance(m) > 0.0)
         .count();
@@ -58,10 +54,7 @@ fn touchstone_sweep_is_self_consistent() {
     let doc = pdn_circuit::touchstone(&freqs, &mats, 50.0);
     // Header + one data row per frequency.
     assert!(doc.contains("# HZ S RI R 50"));
-    let data: Vec<&str> = doc
-        .lines()
-        .filter(|l| !l.starts_with(['!', '#']))
-        .collect();
+    let data: Vec<&str> = doc.lines().filter(|l| !l.starts_with(['!', '#'])).collect();
     assert_eq!(data.len(), freqs.len());
     // Parse one row back and compare against the matrix it came from.
     let fields: Vec<f64> = data[4]

@@ -18,9 +18,8 @@ fn ex1_dominant_resonance_agreement() {
     let extracted = spec
         .extract(&NodeSelection::PortsAndGrid { stride: 3 })
         .expect("extractable");
-    let (f_eq, _) =
-        verify::circuit_strongest_peak(extracted.equivalent(), 0, 0.5e9, 2.5e9, 96)
-            .expect("scannable");
+    let (f_eq, _) = verify::circuit_strongest_peak(extracted.equivalent(), 0, 0.5e9, 2.5e9, 96)
+        .expect("scannable");
     let f_fd = verify::fdtd_strongest_peak(&spec, 0, 0.5e9, 2.5e9).expect("scannable");
     let dev = (f_eq - f_fd) / f_fd;
     assert!(
@@ -79,8 +78,7 @@ fn fig7_s21_agreement_then_drift() {
         .extract(&NodeSelection::PortsAndGrid { stride: 2 })
         .expect("extractable");
     let low: Vec<f64> = (1..=6).map(|k| k as f64 * 0.5e9).collect();
-    let s_eq = verify::circuit_s21_db(extracted.equivalent(), 0, 1, &low, 50.0)
-        .expect("solvable");
+    let s_eq = verify::circuit_s21_db(extracted.equivalent(), 0, 1, &low, 50.0).expect("solvable");
     let s_fd = verify::fdtd_s21_db(&spec, 0, 1, &low, 50.0, 10e9).expect("solvable");
     // Compare in linear magnitude: a dB comparison explodes near the deep
     // transmission nulls between plane modes.
@@ -170,7 +168,9 @@ fn study_a_ssn_trends() {
 #[test]
 fn study_b_noise_map() {
     let board = boards::post_layout_study_b_board(0.8).expect("valid board");
-    let system = board.build(&NodeSelection::PortsOnly, 2).expect("buildable");
+    let system = board
+        .build(&NodeSelection::PortsOnly, 2)
+        .expect("buildable");
     assert_eq!(system.partition().devices, 26 * 6);
     let out = system.run(12e-9, 0.1e-9).expect("runnable");
     assert_eq!(out.per_chip_peak.len(), 26);

@@ -269,4 +269,49 @@ proptest! {
         prop_assert!(sim.peak_voltage() < 20.0, "bounded: {}", sim.peak_voltage());
         prop_assert!(sim.field_energy().is_finite());
     }
+
+    /// The parallel sweep engine returns exactly the per-point serial
+    /// answers — bit-identical, in grid order — for any random sweep grid
+    /// (span, density, and point count) over a random RLC network.
+    #[test]
+    fn parallel_sweep_matches_serial_on_random_grids(
+        f_start_mhz in 0.1f64..500.0,
+        span_decades in 0.1f64..4.0,
+        points in 1usize..96,
+        r in 1.0f64..1e3,
+        l_nh in 0.1f64..100.0,
+        c_pf in 0.1f64..100.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.resistor(a, b, r);
+        ckt.inductor(b, Circuit::GND, l_nh * 1e-9);
+        ckt.capacitor(a, Circuit::GND, c_pf * 1e-12);
+        let f_start = f_start_mhz * 1e6;
+        let f_stop = f_start * 10f64.powf(span_decades);
+        let freqs: Vec<f64> = (0..points)
+            .map(|k| {
+                if points == 1 {
+                    f_start
+                } else {
+                    f_start
+                        + (f_stop - f_start) * k as f64 / (points - 1) as f64
+                }
+            })
+            .collect();
+        let ports = [a];
+        let sweep = ckt.impedance_sweep(&freqs, &ports).expect("solvable");
+        prop_assert_eq!(sweep.len(), freqs.len());
+        for (k, &f) in freqs.iter().enumerate() {
+            let point = ckt.impedance_matrix(f, &ports).expect("solvable");
+            prop_assert_eq!(&sweep[k], &point, "grid point {} (f = {})", k, f);
+        }
+        let s_sweep = ckt.s_parameter_sweep(&freqs, &ports, 50.0).expect("solvable");
+        for (k, &f) in freqs.iter().enumerate() {
+            let point = s_from_z(&ckt.impedance_matrix(f, &ports).unwrap(), 50.0)
+                .expect("convertible");
+            prop_assert_eq!(&s_sweep[k], &point, "s grid point {} (f = {})", k, f);
+        }
+    }
 }
