@@ -1,0 +1,99 @@
+//! Scenario-batch engine: one shared plane extraction amortized over a
+//! 16-scenario decap population sweep, against the pre-batch baseline of
+//! rebuilding (re-extracting) the board for every scenario.
+//!
+//! Prints the measured end-to-end speedup first — the batch engine's
+//! acceptance target is ≥ 3× on this sweep — and verifies the two paths
+//! agree bit-identically before timing anything.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_core::prelude::*;
+use pdn_core::scenario::{DecapValue, Scenario, ScenarioBatch};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn board() -> BoardSpec {
+    let plane = PlaneSpec::rectangle(mm(40.0), mm(30.0), 0.5e-3, 4.5)
+        .expect("valid pair")
+        .with_sheet_resistance(1e-3)
+        .with_cell_size(mm(2.0));
+    BoardSpec::new(plane, 3.3, Point::new(mm(2.0), mm(2.0)))
+        .with_chip(ChipSpec::cmos("U1", Point::new(mm(30.0), mm(20.0)), 4))
+        .with_decap_site(Point::new(mm(28.0), mm(20.0)))
+        .with_decap_site(Point::new(mm(32.0), mm(18.0)))
+        .with_decap_site(Point::new(mm(20.0), mm(15.0)))
+        .with_decap_site(Point::new(mm(10.0), mm(25.0)))
+}
+
+/// Every subset of the four candidate sites: the 16-scenario decap sweep.
+fn scenarios() -> Vec<Scenario> {
+    (0..16u32)
+        .map(|mask| {
+            let populated: Vec<(usize, DecapValue)> = (0..4)
+                .filter(|k| mask & (1 << k) != 0)
+                .map(|k| (k, DecapValue::ceramic_100nf()))
+                .collect();
+            Scenario::switching(4).with_decaps(populated)
+        })
+        .collect()
+}
+
+const SEL: NodeSelection = NodeSelection::PortsAndGrid { stride: 3 };
+const T_STOP: f64 = 6e-9;
+const DT: f64 = 0.1e-9;
+
+fn run_batched(board: &BoardSpec, scenarios: &[Scenario]) -> Vec<SsnOutcome> {
+    ScenarioBatch::new(board, &SEL)
+        .expect("extraction")
+        .run(scenarios, T_STOP, DT)
+        .expect("batch runs")
+}
+
+/// The pre-batch workflow: each scenario materialized as its own board and
+/// built — plane re-extracted — from scratch.
+fn run_rebuilt(board: &BoardSpec, scenarios: &[Scenario]) -> Vec<SsnOutcome> {
+    scenarios
+        .iter()
+        .map(|s| {
+            s.apply_to(board)
+                .expect("scenario applies")
+                .build(&SEL, s.switching)
+                .expect("build")
+                .run(T_STOP, DT)
+                .expect("run")
+        })
+        .collect()
+}
+
+fn scenario_batch_bench(c: &mut Criterion) {
+    let board = board();
+    let scenarios = scenarios();
+
+    let t0 = Instant::now();
+    let batched = run_batched(&board, &scenarios);
+    let t_batched = t0.elapsed();
+    let t0 = Instant::now();
+    let rebuilt = run_rebuilt(&board, &scenarios);
+    let t_rebuilt = t0.elapsed();
+    assert_eq!(batched, rebuilt, "batched results bit-identical to rebuilt");
+    println!("--- scenario batch: 16-scenario decap sweep ---");
+    println!(
+        "batched {:>8.1} ms   rebuilt {:>8.1} ms   speedup {:.2}x (target >= 3x)",
+        t_batched.as_secs_f64() * 1e3,
+        t_rebuilt.as_secs_f64() * 1e3,
+        t_rebuilt.as_secs_f64() / t_batched.as_secs_f64()
+    );
+
+    let mut g = c.benchmark_group("scenario_batch");
+    g.sample_size(10);
+    g.bench_function("batched_16", |b| {
+        b.iter(|| run_batched(black_box(&board), black_box(&scenarios)))
+    });
+    g.bench_function("rebuilt_16", |b| {
+        b.iter(|| run_rebuilt(black_box(&board), black_box(&scenarios)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, scenario_batch_bench);
+criterion_main!(benches);

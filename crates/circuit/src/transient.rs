@@ -158,16 +158,19 @@ struct LineState {
     delay_steps: Vec<f64>,
 }
 
+/// Integration-rule factor: trapezoidal companion conductances carry a
+/// factor of 2 relative to backward Euler.
+fn k_int(integ: Integration) -> f64 {
+    match integ {
+        Integration::Trapezoidal => 2.0,
+        Integration::BackwardEuler => 1.0,
+    }
+}
+
 impl Circuit {
-    /// Runs a transient analysis.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimulateCircuitError::InvalidSpec`] for a non-positive
-    /// step/stop time or a step larger than the smallest transmission-line
-    /// modal delay, and [`SimulateCircuitError::Singular`] when the MNA
-    /// matrix cannot be factored (floating nodes, voltage-source loops).
-    pub fn transient(&self, spec: &TransientSpec) -> Result<TransientResult, SimulateCircuitError> {
+    /// Validates a transient spec against this circuit (positive step and
+    /// stop time, step below every transmission-line modal delay).
+    fn validate_transient_spec(&self, spec: &TransientSpec) -> Result<(), SimulateCircuitError> {
         if spec.dt.partial_cmp(&0.0) != Some(Ordering::Greater)
             || spec.t_stop.partial_cmp(&0.0) != Some(Ordering::Greater)
         {
@@ -186,52 +189,56 @@ impl Circuit {
                 }
             }
         }
-        let n = self.n_nodes;
-        let m = self.n_vsources;
-        let dim = n + m;
-        let n_steps = (spec.t_stop / spec.dt).round() as usize;
-        // The settle phase uses large backward-Euler steps (unconditionally
-        // stable) so a high-Q supply network reaches DC in a few hundred
-        // steps regardless of duration. With transmission lines present the
-        // settle step must match the main step so the wave history buffers
-        // stay uniformly sampled.
+        Ok(())
+    }
+
+    /// The settle-phase step size. The settle phase uses large
+    /// backward-Euler steps (unconditionally stable) so a high-Q supply
+    /// network reaches DC in a few hundred steps regardless of duration.
+    /// With transmission lines present the settle step must match the main
+    /// step so the wave history buffers stay uniformly sampled.
+    fn settle_step(&self, spec: &TransientSpec) -> f64 {
         let has_lines = self
             .elements
             .iter()
             .any(|e| matches!(e, Element::CoupledLine { .. }));
-        let dt_settle = if spec.settle > 0.0 && !has_lines {
+        if spec.settle > 0.0 && !has_lines {
             (spec.settle / 256.0).max(spec.dt)
         } else {
             spec.dt
-        };
-        let n_settle = if spec.settle > 0.0 {
-            (spec.settle / dt_settle).ceil() as usize
-        } else {
-            0
-        };
+        }
+    }
 
-        // --- Constant matrix stamps -------------------------------------
-        let k_int = |integ: Integration| match integ {
-            Integration::Trapezoidal => 2.0,
-            Integration::BackwardEuler => 1.0,
-        };
-
-        let partitioned = spec.solver == SolverMode::Partitioned;
-        // In partitioned mode, only switches with genuinely time-varying
-        // drives join the rank-k update; constant (idle) switches are
-        // stamped at their actual conductance in the base matrix.
-        let switch_active: Vec<bool> = self
-            .elements
+    /// Per-element flag: `true` for switch resistors whose drive genuinely
+    /// varies with time. In partitioned mode only those join the rank-k
+    /// update; constant (idle) switches are stamped at their actual
+    /// conductance in the base matrix.
+    fn active_switch_mask(&self) -> Vec<bool> {
+        self.elements
             .iter()
             .map(|e| match e {
                 Element::SwitchResistor { s, .. } => !s.is_constant(),
                 _ => false,
             })
-            .collect();
-        let build_matrix = |integ: Integration, t: Option<f64>, dt: f64| -> Matrix<f64> {
-            // `t = None` means "DC settle": switches at their initial
-            // state (or frozen at half conductance in partitioned mode,
-            // where `t = Some(_)` never reaches the switch arm).
+            .collect()
+    }
+
+    /// Stamps the MNA matrix for one integration rule and step size.
+    ///
+    /// `t = None` means "DC settle": switches at their initial state (or
+    /// frozen at half conductance in partitioned mode, where `t = Some(_)`
+    /// never reaches the switch arm).
+    fn mna_matrix(
+        &self,
+        integ: Integration,
+        t: Option<f64>,
+        dt: f64,
+        partitioned: bool,
+        switch_active: &[bool],
+    ) -> Matrix<f64> {
+        let n = self.n_nodes;
+        let dim = n + self.n_vsources;
+        {
             let kk = k_int(integ);
             let mut a = Matrix::zeros(dim, dim);
             let stamp_g = |p: NodeId, q: NodeId, g: f64, a: &mut Matrix<f64>| {
@@ -355,9 +362,303 @@ impl Circuit {
                 }
             }
             a
+        }
+    }
+}
+
+/// The reusable, scenario-invariant preparation of a transient solve: the
+/// factored MNA matrices for the settle and main phases, plus the
+/// partitioned solver's Woodbury factors.
+///
+/// With a uniform time step and a linear network the MNA matrix does not
+/// depend on source or switch *waveforms* — only on the element topology,
+/// values, integration rule, and step sizes. A plan built once with
+/// [`TransientPlan::new`] can therefore drive
+/// [`Circuit::transient_with_plan`] on any circuit whose stamped matrices
+/// are identical (e.g. co-simulation scenarios that differ only in
+/// switching patterns or source levels), skipping the `O(n³)`
+/// factorization. [`TransientPlan::matches`] is the exact compatibility
+/// check: it re-stamps the matrices (`O(n²)`) and compares bit-for-bit, so
+/// a reused plan yields results identical to a fresh
+/// [`Circuit::transient`] run.
+#[derive(Clone)]
+pub struct TransientPlan {
+    dt: f64,
+    dt_settle: f64,
+    integration: Integration,
+    solver: SolverMode,
+    dim: usize,
+    settle_matrix: Matrix<f64>,
+    /// `None` when the circuit is time-varying in monolithic mode (the
+    /// matrix is rebuilt every step and nothing can be pre-factored).
+    main_matrix: Option<Matrix<f64>>,
+    settle_lu: LuDecomposition<f64>,
+    main_lu: Option<LuDecomposition<f64>>,
+    /// Active-switch terminals and on-conductances, in element order
+    /// (partitioned mode only).
+    switches: Vec<(NodeId, NodeId, f64)>,
+    w_settle: Vec<Vec<f64>>,
+    s0_settle: Matrix<f64>,
+    w_main: Vec<Vec<f64>>,
+    s0_main: Matrix<f64>,
+}
+
+impl TransientPlan {
+    /// Builds (stamps and factors) the plan for a circuit and spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulateCircuitError::InvalidSpec`] for a bad spec and
+    /// [`SimulateCircuitError::Singular`] when the MNA matrix cannot be
+    /// factored (floating nodes, voltage-source loops).
+    pub fn new(ckt: &Circuit, spec: &TransientSpec) -> Result<Self, SimulateCircuitError> {
+        ckt.validate_transient_spec(spec)?;
+        let dim = ckt.n_nodes + ckt.n_vsources;
+        let partitioned = spec.solver == SolverMode::Partitioned;
+        let switch_active = ckt.active_switch_mask();
+        let dt_settle = ckt.settle_step(spec);
+        let singular = |e: pdn_num::SolveMatrixError| SimulateCircuitError::Singular(e.to_string());
+        let settle_matrix = ckt.mna_matrix(
+            Integration::BackwardEuler,
+            None,
+            dt_settle,
+            partitioned,
+            &switch_active,
+        );
+        let settle_lu = LuDecomposition::new(settle_matrix.clone()).map_err(singular)?;
+        let time_varying = ckt.has_time_varying_topology() && !partitioned;
+        let (main_matrix, main_lu) = if time_varying {
+            (None, None)
+        } else {
+            let a = ckt.mna_matrix(
+                spec.integration,
+                Some(0.0),
+                spec.dt,
+                partitioned,
+                &switch_active,
+            );
+            let lu = LuDecomposition::new(a.clone()).map_err(singular)?;
+            (Some(a), Some(lu))
         };
 
-        let time_varying = self.has_time_varying_topology() && !partitioned;
+        // Partitioned mode: precompute the Woodbury factors. Each switch
+        // between nodes (p, q) perturbs the constant matrix by
+        // Δg·(e_p−e_q)(e_p−e_q)ᵀ. With U the n×k incidence of the
+        // switches and W = A₀⁻¹U (computed once per phase matrix),
+        //   x = z − W·(I + D·S₀)⁻¹·D·Uᵀz ,   S₀ = UᵀW, D = diag(Δg(t)).
+        let (switches, w_settle, s0_settle, w_main, s0_main) = if partitioned {
+            let switches: Vec<(NodeId, NodeId, f64)> = ckt.active_switch_terminals(&switch_active);
+            let k = switches.len();
+            let build_w = |lu: &LuDecomposition<f64>| -> Result<
+                (Vec<Vec<f64>>, Matrix<f64>),
+                SimulateCircuitError,
+            > {
+                let mut w = Vec::with_capacity(k);
+                for (p, q, _) in &switches {
+                    let mut u = vec![0.0; dim];
+                    if p.0 > 0 {
+                        u[p.0 - 1] += 1.0;
+                    }
+                    if q.0 > 0 {
+                        u[q.0 - 1] -= 1.0;
+                    }
+                    w.push(
+                        lu.solve(&u)
+                            .map_err(|e| SimulateCircuitError::Singular(e.to_string()))?,
+                    );
+                }
+                let s0 = Matrix::from_fn(k, k, |i, j| {
+                    let (p, q, _) = switches[i];
+                    let mut v = 0.0;
+                    if p.0 > 0 {
+                        v += w[j][p.0 - 1];
+                    }
+                    if q.0 > 0 {
+                        v -= w[j][q.0 - 1];
+                    }
+                    v
+                });
+                Ok((w, s0))
+            };
+            let (w_settle, s0_settle) = build_w(&settle_lu)?;
+            let main = main_lu
+                .as_ref()
+                .expect("constant matrix in partitioned mode");
+            let (w_main, s0_main) = build_w(main)?;
+            (switches, w_settle, s0_settle, w_main, s0_main)
+        } else {
+            (
+                Vec::new(),
+                Vec::new(),
+                Matrix::zeros(0, 0),
+                Vec::new(),
+                Matrix::zeros(0, 0),
+            )
+        };
+
+        Ok(TransientPlan {
+            dt: spec.dt,
+            dt_settle,
+            integration: spec.integration,
+            solver: spec.solver,
+            dim,
+            settle_matrix,
+            main_matrix,
+            settle_lu,
+            main_lu,
+            switches,
+            w_settle,
+            s0_settle,
+            w_main,
+            s0_main,
+        })
+    }
+
+    /// `true` when this plan's factored matrices are exactly the ones a
+    /// fresh [`TransientPlan::new`] would stamp for `(ckt, spec)` — i.e.
+    /// reusing the plan is bit-identical to refactoring from scratch.
+    ///
+    /// Costs one `O(n²)` matrix re-stamp and compare, versus the `O(n³)`
+    /// factorization it saves.
+    pub fn matches(&self, ckt: &Circuit, spec: &TransientSpec) -> bool {
+        if ckt.validate_transient_spec(spec).is_err() {
+            return false;
+        }
+        let dim = ckt.n_nodes + ckt.n_vsources;
+        if self.dim != dim
+            || self.dt != spec.dt
+            || self.integration != spec.integration
+            || self.solver != spec.solver
+            || self.dt_settle != ckt.settle_step(spec)
+        {
+            return false;
+        }
+        let partitioned = spec.solver == SolverMode::Partitioned;
+        let switch_active = ckt.active_switch_mask();
+        if partitioned && ckt.active_switch_terminals(&switch_active) != self.switches {
+            return false;
+        }
+        if ckt.mna_matrix(
+            Integration::BackwardEuler,
+            None,
+            self.dt_settle,
+            partitioned,
+            &switch_active,
+        ) != self.settle_matrix
+        {
+            return false;
+        }
+        let time_varying = ckt.has_time_varying_topology() && !partitioned;
+        match (&self.main_matrix, time_varying) {
+            (None, true) => true,
+            (Some(m), false) => {
+                ckt.mna_matrix(
+                    spec.integration,
+                    Some(0.0),
+                    spec.dt,
+                    partitioned,
+                    &switch_active,
+                ) == *m
+            }
+            _ => false,
+        }
+    }
+
+    /// MNA system dimension (nodes + voltage sources) the plan was built
+    /// for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Circuit {
+    /// Active-switch terminals `(p, q, g_on)` in element order.
+    fn active_switch_terminals(&self, switch_active: &[bool]) -> Vec<(NodeId, NodeId, f64)> {
+        self.elements
+            .iter()
+            .enumerate()
+            .filter_map(|(ei, e)| match e {
+                Element::SwitchResistor { a, b, g_on, .. } if switch_active[ei] => {
+                    Some((*a, *b, *g_on))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Runs a transient analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulateCircuitError::InvalidSpec`] for a non-positive
+    /// step/stop time or a step larger than the smallest transmission-line
+    /// modal delay, and [`SimulateCircuitError::Singular`] when the MNA
+    /// matrix cannot be factored (floating nodes, voltage-source loops).
+    pub fn transient(&self, spec: &TransientSpec) -> Result<TransientResult, SimulateCircuitError> {
+        let plan = TransientPlan::new(self, spec)?;
+        self.run_transient(spec, &plan)
+    }
+
+    /// Runs a transient analysis reusing a previously built
+    /// [`TransientPlan`], skipping the matrix factorization.
+    ///
+    /// The result is bit-identical to [`transient`](Circuit::transient):
+    /// the plan is only accepted when [`TransientPlan::matches`] confirms
+    /// its factored matrices are exactly the ones this circuit would stamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulateCircuitError::InvalidSpec`] when the plan was
+    /// built for a different circuit structure or spec, plus everything
+    /// [`transient`](Circuit::transient) can return.
+    pub fn transient_with_plan(
+        &self,
+        spec: &TransientSpec,
+        plan: &TransientPlan,
+    ) -> Result<TransientResult, SimulateCircuitError> {
+        if !plan.matches(self, spec) {
+            return Err(SimulateCircuitError::InvalidSpec(
+                "transient plan does not match this circuit/spec (different MNA structure)".into(),
+            ));
+        }
+        self.run_transient(spec, plan)
+    }
+
+    /// The shared time-stepping loop behind [`transient`](Circuit::transient)
+    /// and [`transient_with_plan`](Circuit::transient_with_plan). `plan`
+    /// must satisfy `plan.matches(self, spec)`.
+    fn run_transient(
+        &self,
+        spec: &TransientSpec,
+        plan: &TransientPlan,
+    ) -> Result<TransientResult, SimulateCircuitError> {
+        let n = self.n_nodes;
+        let m = self.n_vsources;
+        let dim = n + m;
+        let n_steps = (spec.t_stop / spec.dt).round() as usize;
+        let dt_settle = plan.dt_settle;
+        let n_settle = if spec.settle > 0.0 {
+            (spec.settle / dt_settle).ceil() as usize
+        } else {
+            0
+        };
+        let partitioned = spec.solver == SolverMode::Partitioned;
+        let switch_active = self.active_switch_mask();
+        // Waveform parameters of the active switches, in the same element
+        // order as `plan.switches` (incidence equality is checked by
+        // `matches`; drives are deliberately *not* part of the plan so one
+        // factorization serves every switching pattern).
+        let switch_drives: Vec<(f64, &Waveform, bool)> = self
+            .elements
+            .iter()
+            .enumerate()
+            .filter_map(|(ei, e)| match e {
+                Element::SwitchResistor {
+                    g_on, s, invert, ..
+                } if switch_active[ei] => Some((*g_on, s, *invert)),
+                _ => None,
+            })
+            .collect();
 
         // --- Element states ------------------------------------------------
         struct CapState {
@@ -401,94 +702,6 @@ impl Circuit {
         let mut voltages = vec![Vec::with_capacity(n_steps + 1); n + 1];
         let mut source_currents = vec![Vec::with_capacity(n_steps + 1); m];
         let mut x = vec![0.0; dim];
-
-        // Pre-factor for the two phases.
-        let settle_matrix = build_matrix(Integration::BackwardEuler, None, dt_settle);
-        let settle_lu = LuDecomposition::new(settle_matrix)
-            .map_err(|e| SimulateCircuitError::Singular(e.to_string()))?;
-        let main_lu = if time_varying {
-            None
-        } else {
-            let a = build_matrix(spec.integration, Some(0.0), spec.dt);
-            Some(
-                LuDecomposition::new(a)
-                    .map_err(|e| SimulateCircuitError::Singular(e.to_string()))?,
-            )
-        };
-
-        // Partitioned mode: precompute the Woodbury factors. Each switch
-        // between nodes (p, q) perturbs the constant matrix by
-        // Δg·(e_p−e_q)(e_p−e_q)ᵀ. With U the n×k incidence of the
-        // switches and W = A₀⁻¹U (computed once per phase matrix),
-        //   x = z − W·(I + D·S₀)⁻¹·D·Uᵀz ,   S₀ = UᵀW, D = diag(Δg(t)).
-        struct Woodbury {
-            /// Switch terminals (p, q) and parameters.
-            switches: Vec<(NodeId, NodeId, f64, Waveform, bool)>,
-            w_settle: Vec<Vec<f64>>,
-            s0_settle: Matrix<f64>,
-            w_main: Vec<Vec<f64>>,
-            s0_main: Matrix<f64>,
-        }
-        let woodbury = if partitioned {
-            let switches: Vec<(NodeId, NodeId, f64, Waveform, bool)> = self
-                .elements
-                .iter()
-                .enumerate()
-                .filter_map(|(ei, e)| match e {
-                    Element::SwitchResistor {
-                        a: p,
-                        b: q,
-                        g_on,
-                        s,
-                        invert,
-                    } if switch_active[ei] => Some((*p, *q, *g_on, s.clone(), *invert)),
-                    _ => None,
-                })
-                .collect();
-            let k = switches.len();
-            let build_w = |lu: &LuDecomposition<f64>| -> Result<(Vec<Vec<f64>>, Matrix<f64>), SimulateCircuitError> {
-                let mut w = Vec::with_capacity(k);
-                for (p, q, ..) in &switches {
-                    let mut u = vec![0.0; dim];
-                    if p.0 > 0 {
-                        u[p.0 - 1] += 1.0;
-                    }
-                    if q.0 > 0 {
-                        u[q.0 - 1] -= 1.0;
-                    }
-                    w.push(
-                        lu.solve(&u)
-                            .map_err(|e| SimulateCircuitError::Singular(e.to_string()))?,
-                    );
-                }
-                let s0 = Matrix::from_fn(k, k, |i, j| {
-                    let (p, q, ..) = switches[i];
-                    let mut v = 0.0;
-                    if p.0 > 0 {
-                        v += w[j][p.0 - 1];
-                    }
-                    if q.0 > 0 {
-                        v -= w[j][q.0 - 1];
-                    }
-                    v
-                });
-                Ok((w, s0))
-            };
-            let (w_settle, s0_settle) = build_w(&settle_lu)?;
-            let main = main_lu
-                .as_ref()
-                .expect("constant matrix in partitioned mode");
-            let (w_main, s0_main) = build_w(main)?;
-            Some(Woodbury {
-                switches,
-                w_settle,
-                s0_settle,
-                w_main,
-                s0_main,
-            })
-        } else {
-            None
-        };
 
         let total_steps = n_settle + n_steps + 1;
         for step in 0..total_steps {
@@ -617,28 +830,27 @@ impl Circuit {
 
             // Solve.
             x = if partitioned {
-                let wb = woodbury.as_ref().expect("precomputed");
                 let (lu, w_cols, s0) = if settling {
-                    (&settle_lu, &wb.w_settle, &wb.s0_settle)
+                    (&plan.settle_lu, &plan.w_settle, &plan.s0_settle)
                 } else {
                     (
-                        main_lu
+                        plan.main_lu
                             .as_ref()
                             .expect("constant matrix in partitioned mode"),
-                        &wb.w_main,
-                        &wb.s0_main,
+                        &plan.w_main,
+                        &plan.s0_main,
                     )
                 };
                 let z = lu
                     .solve(&rhs)
                     .map_err(|e| SimulateCircuitError::Singular(e.to_string()))?;
-                let k = wb.switches.len();
+                let k = plan.switches.len();
                 if k == 0 {
                     z
                 } else {
                     // D = diag(g_actual(t) − g_frozen).
                     let mut d = vec![0.0; k];
-                    for (idx, (_, _, g_on, s, invert)) in wb.switches.iter().enumerate() {
+                    for (idx, (g_on, s, invert)) in switch_drives.iter().enumerate() {
                         let sv = if settling {
                             s.initial_value()
                         } else {
@@ -654,7 +866,7 @@ impl Circuit {
                         delta + d[i] * s0[(i, j)]
                     });
                     let mut rhs_small = vec![0.0; k];
-                    for (idx, &(p, q, ..)) in wb.switches.iter().enumerate() {
+                    for (idx, &(p, q, _)) in plan.switches.iter().enumerate() {
                         let mut v = 0.0;
                         if p.0 > 0 {
                             v += z[p.0 - 1];
@@ -676,14 +888,14 @@ impl Circuit {
                     sol
                 }
             } else if settling {
-                settle_lu
+                plan.settle_lu
                     .solve(&rhs)
                     .map_err(|e| SimulateCircuitError::Singular(e.to_string()))?
-            } else if let Some(lu) = &main_lu {
+            } else if let Some(lu) = &plan.main_lu {
                 lu.solve(&rhs)
                     .map_err(|e| SimulateCircuitError::Singular(e.to_string()))?
             } else {
-                let a = build_matrix(integ, Some(t), dt_now);
+                let a = self.mna_matrix(integ, Some(t), dt_now, partitioned, &switch_active);
                 LuDecomposition::new(a)
                     .and_then(|lu| lu.solve(&rhs))
                     .map_err(|e| SimulateCircuitError::Singular(e.to_string()))?

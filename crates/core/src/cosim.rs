@@ -9,11 +9,34 @@
 //! distributed planes and the resulting noise feeds back into the devices
 //! — the paper's dynamic interaction, achieved here by solving the
 //! combined system.
+//!
+//! # The extract-once / stamp-many split
+//!
+//! The expensive half of [`BoardSpec::build`] — meshing the plane and
+//! solving the dense BEM system — depends only on the board geometry and
+//! the *port layout* (supply point, chip power pins, decap mounting
+//! sites). Everything a what-if study varies — which decaps are populated,
+//! how many drivers switch, driver corners, supply level — only changes
+//! the cheap circuit stamped *around* that macromodel. `build` is
+//! therefore split in two:
+//!
+//! 1. [`BoardSpec::extract_model`] → [`ExtractedModel`]: the
+//!    scenario-invariant plane macromodel plus the port-layout bookkeeping
+//!    (one port per chip and per declared decap site, populated or not);
+//! 2. [`BoardSpec::wire`]: re-stamps the full system netlist around a
+//!    shared `ExtractedModel` in milliseconds.
+//!
+//! [`BoardSpec::build`] is exactly `extract_model` + `wire`, and
+//! [`crate::scenario::ScenarioBatch`] amortizes one `extract_model` over N
+//! wired scenario variants. Declare candidate mounting sites with
+//! [`BoardSpec::with_decap_site`] so every scenario (and the from-scratch
+//! rebuild path) sees the identical port layout, making batched and
+//! rebuilt results bit-identical.
 
-use crate::flow::{ExtractPlaneError, PlaneSpec};
+use crate::flow::{ExtractPlaneError, ExtractedPlane, PlaneSpec};
 use pdn_circuit::netlist::SourceId;
 use pdn_circuit::{
-    Circuit, CoupledLineModel, NodeId, SimulateCircuitError, TransientSpec, Waveform,
+    Circuit, CoupledLineModel, NodeId, SimulateCircuitError, TransientPlan, TransientSpec, Waveform,
 };
 use pdn_extract::NodeSelection;
 use pdn_geom::Point;
@@ -162,6 +185,12 @@ pub struct BoardSpec {
     pub chips: Vec<ChipSpec>,
     /// Decoupling capacitors.
     pub decaps: Vec<DecapSpec>,
+    /// Declared decap mounting sites. Every site becomes a plane port
+    /// whether or not a capacitor is populated there, so scenario studies
+    /// over decap subsets share one extraction. When empty, each entry of
+    /// `decaps` implicitly declares its own site (the historical
+    /// behavior).
+    pub decap_sites: Vec<Point>,
 }
 
 impl BoardSpec {
@@ -175,6 +204,7 @@ impl BoardSpec {
             supply_l: 10e-9,
             chips: Vec::new(),
             decaps: Vec::new(),
+            decap_sites: Vec::new(),
         }
     }
 
@@ -190,20 +220,39 @@ impl BoardSpec {
         self
     }
 
-    /// Extracts the plane macromodel and wires the full system netlist.
+    /// Declares a decap mounting site (builder style). The site is ported
+    /// in the extraction even while unpopulated.
+    pub fn with_decap_site(mut self, location: Point) -> Self {
+        self.decap_sites.push(location);
+        self
+    }
+
+    /// The effective decap site plan: the declared sites, or — when none
+    /// are declared — one implicit site per placed decap.
+    pub fn site_plan(&self) -> Vec<Point> {
+        if self.decap_sites.is_empty() {
+            self.decaps.iter().map(|d| d.location).collect()
+        } else {
+            self.decap_sites.clone()
+        }
+    }
+
+    /// Extracts the scenario-invariant plane macromodel: ports the plane
+    /// (supply + one power port per chip + one per decap site) and runs
+    /// the mesh → BEM → reduction flow.
     ///
-    /// `switching` drivers per chip (capped at each chip's driver count)
-    /// receive the chip's data waveform; the rest idle low.
+    /// This is the expensive half of [`build`](BoardSpec::build); the
+    /// result can be shared across every scenario wired from boards that
+    /// keep the same plane, supply point, chip locations, and site plan.
     ///
     /// # Errors
     ///
-    /// Returns [`BuildBoardError`] when the extraction or wiring fails.
-    pub fn build(
+    /// Returns [`BuildBoardError::Extraction`] when the flow fails.
+    pub fn extract_model(
         &self,
         selection: &NodeSelection,
-        switching: usize,
-    ) -> Result<BoardSystem, BuildBoardError> {
-        // 1. Plane ports: supply + one power port per chip + one per decap.
+    ) -> Result<ExtractedModel, BuildBoardError> {
+        let sites = self.site_plan();
         let mut plane = self.plane.clone();
         plane = plane.with_port("VRM", self.supply_location.x, self.supply_location.y);
         for chip in &self.chips {
@@ -213,14 +262,101 @@ impl BoardSpec {
                 chip.location.y,
             );
         }
-        for (k, d) in self.decaps.iter().enumerate() {
-            plane = plane.with_port(format!("decap{k}"), d.location.x, d.location.y);
+        for (k, site) in sites.iter().enumerate() {
+            plane = plane.with_port(format!("decap{k}"), site.x, site.y);
         }
-        let extracted = plane.extract(selection)?;
+        let plane = plane.extract(selection)?;
+        Ok(ExtractedModel {
+            plane,
+            supply_location: self.supply_location,
+            chip_locations: self.chips.iter().map(|c| c.location).collect(),
+            sites,
+        })
+    }
+
+    /// Extracts the plane macromodel and wires the full system netlist.
+    ///
+    /// `switching` drivers per chip (capped at each chip's driver count)
+    /// receive the chip's data waveform; the rest idle low.
+    ///
+    /// Exactly equivalent to [`extract_model`](BoardSpec::extract_model)
+    /// followed by [`wire`](BoardSpec::wire).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildBoardError`] when the extraction or wiring fails.
+    pub fn build(
+        &self,
+        selection: &NodeSelection,
+        switching: usize,
+    ) -> Result<BoardSystem, BuildBoardError> {
+        let model = self.extract_model(selection)?;
+        self.wire(&model, switching)
+    }
+
+    /// Stamps the full system netlist around a shared extracted
+    /// macromodel — the cheap, re-runnable half of
+    /// [`build`](BoardSpec::build).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildBoardError::Wiring`] when the model's port layout
+    /// does not match this board (different supply point, chip locations,
+    /// or site plan; a decap placed off every declared site), or when an
+    /// element model is invalid (bad line parameters…).
+    pub fn wire(
+        &self,
+        model: &ExtractedModel,
+        switching: usize,
+    ) -> Result<BoardSystem, BuildBoardError> {
+        // 1. The model's port layout must be the one this board would
+        //    extract: ports are matched positionally below.
+        if model.supply_location != self.supply_location {
+            return Err(BuildBoardError::Wiring(
+                "extracted model was built for a different supply location".into(),
+            ));
+        }
+        let chip_locations: Vec<Point> = self.chips.iter().map(|c| c.location).collect();
+        if model.chip_locations != chip_locations {
+            return Err(BuildBoardError::Wiring(
+                "extracted model was built for different chip locations".into(),
+            ));
+        }
+        if !self.decap_sites.is_empty() && model.sites != self.decap_sites {
+            return Err(BuildBoardError::Wiring(
+                "extracted model was built for a different decap site plan".into(),
+            ));
+        }
+        // Map each populated decap onto its mounting site. With no
+        // declared sites the decaps *are* the site plan (site k = decap
+        // k); with declared sites, match by location.
+        let mut decap_sites = Vec::with_capacity(self.decaps.len());
+        for (k, d) in self.decaps.iter().enumerate() {
+            let site = if self.decap_sites.is_empty() {
+                if model.sites.get(k) != Some(&d.location) {
+                    return Err(BuildBoardError::Wiring(
+                        "extracted model was built for a different decap set".into(),
+                    ));
+                }
+                k
+            } else {
+                model
+                    .sites
+                    .iter()
+                    .position(|&s| s == d.location)
+                    .ok_or_else(|| {
+                        BuildBoardError::Wiring(format!(
+                            "decap at ({:.4e}, {:.4e}) does not sit on any declared site",
+                            d.location.x, d.location.y
+                        ))
+                    })?
+            };
+            decap_sites.push(site);
+        }
 
         // 2. Stamp the macromodel into the netlist.
         let mut ckt = Circuit::new();
-        let eq = extracted.equivalent();
+        let eq = model.equivalent();
         let nodes = eq.to_circuit(&mut ckt, "pg_", 0.0);
         let port_node = |p: usize| nodes[eq.port_node(p)];
 
@@ -287,9 +423,9 @@ impl BoardSpec {
             driver_outputs.push(outs);
         }
 
-        // 5. Decaps.
-        for (k, d) in self.decaps.iter().enumerate() {
-            let plane_node = port_node(1 + self.chips.len() + k);
+        // 5. Decaps, each on its mapped mounting-site port.
+        for (d, &site) in self.decaps.iter().zip(&decap_sites) {
+            let plane_node = port_node(1 + self.chips.len() + site);
             ckt.decoupling_cap(plane_node, Circuit::GND, d.c, d.esr, d.esl);
         }
 
@@ -330,6 +466,45 @@ impl Error for BuildBoardError {}
 impl From<ExtractPlaneError> for BuildBoardError {
     fn from(e: ExtractPlaneError) -> Self {
         BuildBoardError::Extraction(e)
+    }
+}
+
+/// The scenario-invariant half of a board build: the extracted plane
+/// macromodel plus the port layout it was extracted for (supply point,
+/// chip power-pin locations, decap mounting sites).
+///
+/// Produced once by [`BoardSpec::extract_model`]; any number of scenario
+/// variants can then be wired around it with [`BoardSpec::wire`]. The
+/// layout fields let `wire` verify a model/board mismatch instead of
+/// silently stamping decaps onto the wrong plane ports.
+#[derive(Debug, Clone)]
+pub struct ExtractedModel {
+    plane: ExtractedPlane,
+    supply_location: Point,
+    chip_locations: Vec<Point>,
+    sites: Vec<Point>,
+}
+
+impl ExtractedModel {
+    /// The underlying extraction (BEM reference + equivalent circuit).
+    pub fn plane(&self) -> &ExtractedPlane {
+        &self.plane
+    }
+
+    /// The extracted R–L‖C macromodel.
+    pub fn equivalent(&self) -> &pdn_extract::EquivalentCircuit {
+        self.plane.equivalent()
+    }
+
+    /// The decap mounting sites ported in the extraction, in site-index
+    /// order.
+    pub fn sites(&self) -> &[Point] {
+        &self.sites
+    }
+
+    /// The chip power-pin locations ported in the extraction.
+    pub fn chip_locations(&self) -> &[Point] {
+        &self.chip_locations
     }
 }
 
@@ -377,16 +552,11 @@ impl BoardSystem {
         }
     }
 
-    /// Runs the co-simulation and reports the switching-noise outcome.
-    ///
-    /// A backward-Euler DC settle phase brings the rails to `vcc` before
-    /// recording; the supply inductor ringing into the plane capacitance
-    /// needs on the order of 100 ns to die out.
-    ///
-    /// # Errors
-    ///
-    /// Propagates circuit-simulation failures.
-    pub fn run(&self, t_stop: f64, dt: f64) -> Result<SsnOutcome, SimulateCircuitError> {
+    /// The transient spec [`run`](BoardSystem::run) uses for the given
+    /// duration and step — exposed so callers can prepare a
+    /// [`TransientPlan`] once and replay it across systems with identical
+    /// MNA structure (see [`run_with_plan`](BoardSystem::run_with_plan)).
+    pub fn transient_spec(&self, t_stop: f64, dt: f64) -> TransientSpec {
         // The settle phase uses a fixed number of large backward-Euler
         // steps, so its cost does not grow with the requested duration: a
         // very long settle is effectively a DC operating-point iteration
@@ -401,10 +571,52 @@ impl BoardSystem {
         // The partitioned solver (paper Section 5.2) keeps the MNA matrix
         // constant — one factorization for the entire run — with the
         // switching devices coupled through per-step Norton iterations.
-        let spec = TransientSpec::new(t_stop, dt)
+        TransientSpec::new(t_stop, dt)
             .with_settle(settle)
-            .with_partitioned_solver();
+            .with_partitioned_solver()
+    }
+
+    /// Runs the co-simulation and reports the switching-noise outcome.
+    ///
+    /// A backward-Euler DC settle phase brings the rails to `vcc` before
+    /// recording; the supply inductor ringing into the plane capacitance
+    /// needs on the order of 100 ns to die out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-simulation failures.
+    pub fn run(&self, t_stop: f64, dt: f64) -> Result<SsnOutcome, SimulateCircuitError> {
+        let spec = self.transient_spec(t_stop, dt);
         let res = self.circuit.transient(&spec)?;
+        self.outcome(&res)
+    }
+
+    /// Like [`run`](BoardSystem::run), but replays a previously prepared
+    /// [`TransientPlan`] instead of re-factoring the MNA matrices — the
+    /// plan must have been built for a circuit/spec with bit-identical
+    /// stamped matrices (verified; a mismatch is an error, never a wrong
+    /// answer). Results are bit-identical to [`run`](BoardSystem::run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-simulation failures, including a plan/circuit
+    /// structure mismatch.
+    pub fn run_with_plan(
+        &self,
+        t_stop: f64,
+        dt: f64,
+        plan: &TransientPlan,
+    ) -> Result<SsnOutcome, SimulateCircuitError> {
+        let spec = self.transient_spec(t_stop, dt);
+        let res = self.circuit.transient_with_plan(&spec, plan)?;
+        self.outcome(&res)
+    }
+
+    /// Reduces a transient result to the switching-noise outcome.
+    fn outcome(
+        &self,
+        res: &pdn_circuit::transient::TransientResult,
+    ) -> Result<SsnOutcome, SimulateCircuitError> {
         let time = res.time().to_vec();
         // Worst-chip rail noise.
         let mut worst_peak = 0.0;
@@ -463,7 +675,10 @@ impl BoardSystem {
 }
 
 /// Result of an SSN co-simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is exact (bit-level) — used by the scenario-batch
+/// equivalence tests to assert batched and rebuilt runs agree exactly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SsnOutcome {
     /// Sample times (s).
     pub time: Vec<f64>,
@@ -486,9 +701,10 @@ pub struct SsnOutcome {
 /// Sweeps the number of simultaneously switching drivers and reports the
 /// peak noise for each count — the paper's Study A experiment.
 ///
-/// Each switching count is an independent build + transient run, so the
-/// sweep points execute on [`pdn_num::parallel`] workers. The output rows
-/// follow `counts` order regardless of the worker count.
+/// The sweep is a [`crate::scenario::ScenarioBatch`] client: the plane is
+/// extracted once and every switching count is wired and simulated
+/// against the shared macromodel on [`pdn_num::parallel`] workers. The
+/// output rows follow `counts` order, bit-identical for any worker count.
 ///
 /// # Errors
 ///
@@ -501,14 +717,17 @@ pub fn ssn_switching_sweep(
     t_stop: f64,
     dt: f64,
 ) -> Result<Vec<(usize, f64)>, Box<dyn Error>> {
-    // `Box<dyn Error>` is not `Send`, so workers report errors as strings.
-    pdn_num::parallel::try_par_map_indexed(counts.len(), |k| {
-        let n = counts[k];
-        let system = board.build(selection, n).map_err(|e| e.to_string())?;
-        let outcome = system.run(t_stop, dt).map_err(|e| e.to_string())?;
-        Ok::<_, String>((n, outcome.peak_noise))
-    })
-    .map_err(Into::into)
+    let batch = crate::scenario::ScenarioBatch::new(board, selection)?;
+    let scenarios: Vec<crate::scenario::Scenario> = counts
+        .iter()
+        .map(|&n| crate::scenario::Scenario::switching(n))
+        .collect();
+    let outcomes = batch.run(&scenarios, t_stop, dt)?;
+    Ok(counts
+        .iter()
+        .zip(outcomes)
+        .map(|(&n, out)| (n, out.peak_noise))
+        .collect())
 }
 
 #[cfg(test)]

@@ -44,18 +44,25 @@ pub mod boards;
 pub mod cosim;
 pub mod flow;
 pub mod optimize;
+pub mod scenario;
 pub mod verify;
 
-pub use cosim::{BoardSpec, BoardSystem, ChipSpec, DecapSpec, SsnOutcome};
+pub use cosim::{
+    BoardSpec, BoardSystem, BuildBoardError, ChipSpec, DecapSpec, ExtractedModel, SsnOutcome,
+};
 pub use flow::{ExtractPlaneError, ExtractedPlane, PlaneSpec};
 pub use optimize::{optimize_decaps, DecapPlan, OptimizeSettings};
+pub use scenario::{DecapValue, Scenario, ScenarioBatch, ScenarioBatchError};
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {
     pub use crate::boards;
-    pub use crate::cosim::{BoardSpec, BoardSystem, ChipSpec, DecapSpec, SsnOutcome};
+    pub use crate::cosim::{
+        BoardSpec, BoardSystem, BuildBoardError, ChipSpec, DecapSpec, ExtractedModel, SsnOutcome,
+    };
     pub use crate::flow::{ExtractPlaneError, ExtractedPlane, PlaneSpec};
     pub use crate::optimize::{optimize_decaps, DecapPlan, OptimizeSettings};
+    pub use crate::scenario::{DecapValue, Scenario, ScenarioBatch, ScenarioBatchError};
     pub use crate::verify;
     pub use pdn_bem::{BemOptions, BemSystem, Testing};
     pub use pdn_circuit::{

@@ -11,8 +11,15 @@
 //! mounting sites that adds, one at a time, the capacitor producing the
 //! largest plane-noise reduction, stopping when the design margin is met
 //! or no candidate helps anymore.
+//!
+//! The search is a [`ScenarioBatch`] client: the plane (with every
+//! candidate site ported) is extracted **once**, and each greedy round
+//! evaluates all remaining candidates as one parallel batch of scenarios
+//! against the shared macromodel. Candidate order breaks noise ties, so
+//! the chosen plan is deterministic for any `PDN_THREADS` worker count.
 
 use crate::cosim::{BoardSpec, BuildBoardError, DecapSpec};
+use crate::scenario::{DecapValue, Scenario, ScenarioBatch, ScenarioBatchError};
 use pdn_extract::NodeSelection;
 use std::error::Error;
 use std::fmt;
@@ -53,15 +60,16 @@ impl DecapPlan {
 pub enum OptimizeDecapsError {
     /// A co-simulation run failed.
     Simulation(Box<dyn Error>),
-    /// No candidate sites were provided.
-    NoCandidates,
+    /// The candidate list is invalid (empty, duplicate sites, a board
+    /// decap off every declared site…).
+    InvalidInput(String),
 }
 
 impl fmt::Display for OptimizeDecapsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OptimizeDecapsError::Simulation(e) => write!(f, "simulation failed: {e}"),
-            OptimizeDecapsError::NoCandidates => write!(f, "no candidate decap sites"),
+            OptimizeDecapsError::InvalidInput(s) => write!(f, "invalid input: {s}"),
         }
     }
 }
@@ -70,6 +78,12 @@ impl Error for OptimizeDecapsError {}
 
 impl From<BuildBoardError> for OptimizeDecapsError {
     fn from(e: BuildBoardError) -> Self {
+        OptimizeDecapsError::Simulation(Box::new(e))
+    }
+}
+
+impl From<ScenarioBatchError> for OptimizeDecapsError {
+    fn from(e: ScenarioBatchError) -> Self {
         OptimizeDecapsError::Simulation(Box::new(e))
     }
 }
@@ -96,47 +110,102 @@ pub struct OptimizeSettings {
 ///
 /// Candidates already used are not reconsidered; the loop stops when the
 /// target is met, the budget is exhausted, or no remaining candidate
-/// improves the noise.
+/// improves the noise. The plane is extracted once with every candidate
+/// site ported ([`ScenarioBatch`]); each greedy round then evaluates all
+/// remaining candidates in parallel. Noise ties break toward the lowest
+/// candidate index, so the result is deterministic for any worker count.
 ///
 /// # Errors
 ///
-/// Returns [`OptimizeDecapsError`] when there are no candidates or a
-/// trial simulation fails.
+/// Returns [`OptimizeDecapsError::InvalidInput`] when the candidate list
+/// is empty or contains duplicate mounting sites, and
+/// [`OptimizeDecapsError::Simulation`] when a trial build/run fails.
 pub fn optimize_decaps(
     board: &BoardSpec,
     candidates: &[DecapSpec],
     settings: &OptimizeSettings,
 ) -> Result<DecapPlan, OptimizeDecapsError> {
     if candidates.is_empty() {
-        return Err(OptimizeDecapsError::NoCandidates);
+        return Err(OptimizeDecapsError::InvalidInput(
+            "no candidate decap sites provided".into(),
+        ));
     }
-    let evaluate = |chosen: &[DecapSpec]| -> Result<f64, OptimizeDecapsError> {
-        let mut b = board.clone();
-        for d in chosen {
-            b = b.with_decap(*d);
+    for (k, c) in candidates.iter().enumerate() {
+        if let Some(j) = candidates[..k]
+            .iter()
+            .position(|p| p.location == c.location)
+        {
+            return Err(OptimizeDecapsError::InvalidInput(format!(
+                "candidates {j} and {k} share the mounting site ({:.4e}, {:.4e})",
+                c.location.x, c.location.y
+            )));
         }
-        let out = b
-            .build(&settings.selection, settings.switching)?
-            .run(settings.t_stop, settings.dt)
-            .map_err(|e| OptimizeDecapsError::Simulation(Box::new(e)))?;
-        Ok(out.plane_noise_peak)
+    }
+
+    // Port every candidate site alongside the board's own site plan, so
+    // one extraction serves the whole search.
+    let mut base = board.clone();
+    base.decap_sites = board.site_plan();
+    let offset = base.decap_sites.len();
+    for c in candidates {
+        base.decap_sites.push(c.location);
+    }
+    // The board's pre-placed decaps, re-expressed as (site, value) pairs
+    // every trial scenario starts from.
+    let base_pairs: Vec<(usize, DecapValue)> = board
+        .decaps
+        .iter()
+        .map(|d| {
+            let site = base.decap_sites[..offset]
+                .iter()
+                .position(|&s| s == d.location)
+                .ok_or_else(|| {
+                    OptimizeDecapsError::InvalidInput(format!(
+                        "board decap at ({:.4e}, {:.4e}) does not sit on any declared site",
+                        d.location.x, d.location.y
+                    ))
+                })?;
+            Ok((site, DecapValue::new(d.c, d.esr, d.esl)))
+        })
+        .collect::<Result<_, OptimizeDecapsError>>()?;
+
+    let batch = ScenarioBatch::new(&base, &settings.selection)?;
+    let scenario_for = |chosen: &[usize]| -> Scenario {
+        let mut pairs = base_pairs.clone();
+        for &k in chosen {
+            let c = &candidates[k];
+            pairs.push((offset + k, DecapValue::new(c.c, c.esr, c.esl)));
+        }
+        Scenario::switching(settings.switching).with_decaps(pairs)
+    };
+    let noise_of = |outs: &[crate::cosim::SsnOutcome]| -> Vec<f64> {
+        outs.iter().map(|o| o.plane_noise_peak).collect()
     };
 
-    let baseline_noise = evaluate(&[])?;
-    let mut chosen: Vec<DecapSpec> = Vec::new();
+    let baseline_noise =
+        noise_of(&batch.run(&[scenario_for(&[])], settings.t_stop, settings.dt)?)[0];
+    let mut chosen: Vec<usize> = Vec::new();
     let mut used = vec![false; candidates.len()];
     let mut history = Vec::new();
     let mut current = baseline_noise;
     while current > settings.target_noise && chosen.len() < settings.max_decaps {
-        // Try every unused candidate; keep the best.
+        // Evaluate every unused candidate as one parallel batch.
+        let trial_ids: Vec<usize> = (0..candidates.len()).filter(|&k| !used[k]).collect();
+        if trial_ids.is_empty() {
+            break;
+        }
+        let scenarios: Vec<Scenario> = trial_ids
+            .iter()
+            .map(|&k| {
+                let mut trial = chosen.clone();
+                trial.push(k);
+                scenario_for(&trial)
+            })
+            .collect();
+        let noises = noise_of(&batch.run(&scenarios, settings.t_stop, settings.dt)?);
+        // Strict `<` keeps the earliest (lowest-index) candidate on ties.
         let mut best: Option<(usize, f64)> = None;
-        for (k, cand) in candidates.iter().enumerate() {
-            if used[k] {
-                continue;
-            }
-            let mut trial = chosen.clone();
-            trial.push(*cand);
-            let noise = evaluate(&trial)?;
+        for (&k, &noise) in trial_ids.iter().zip(&noises) {
             if best.is_none_or(|(_, n)| noise < n) {
                 best = Some((k, noise));
             }
@@ -144,7 +213,7 @@ pub fn optimize_decaps(
         match best {
             Some((k, noise)) if noise < current => {
                 used[k] = true;
-                chosen.push(candidates[k]);
+                chosen.push(k);
                 history.push(DecapStep {
                     candidate: k,
                     noise_after: noise,
@@ -155,7 +224,7 @@ pub fn optimize_decaps(
         }
     }
     Ok(DecapPlan {
-        chosen,
+        chosen: chosen.iter().map(|&k| candidates[k]).collect(),
         baseline_noise,
         history,
         target_met: current <= settings.target_noise,
@@ -231,6 +300,31 @@ mod tests {
     #[test]
     fn empty_candidate_list_rejected() {
         let err = optimize_decaps(&test_board(), &[], &settings(0.1)).unwrap_err();
-        assert!(matches!(err, OptimizeDecapsError::NoCandidates));
+        match err {
+            OptimizeDecapsError::InvalidInput(msg) => {
+                assert!(msg.contains("no candidate"), "descriptive message: {msg}");
+            }
+            other => panic!("expected InvalidInput, got {other}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_candidate_sites_rejected() {
+        let site = Point::new(mm(27.0), mm(20.0));
+        let dups = vec![
+            DecapSpec::ceramic_100nf(site),
+            DecapSpec::ceramic_100nf(Point::new(mm(5.0), mm(25.0))),
+            DecapSpec::ceramic_100nf(site),
+        ];
+        let err = optimize_decaps(&test_board(), &dups, &settings(0.1)).unwrap_err();
+        match err {
+            OptimizeDecapsError::InvalidInput(msg) => {
+                assert!(
+                    msg.contains("candidates 0 and 2"),
+                    "names the colliding pair: {msg}"
+                );
+            }
+            other => panic!("expected InvalidInput, got {other}"),
+        }
     }
 }

@@ -168,6 +168,33 @@ where
     }
 }
 
+/// Fallible [`par_map`]: maps `f` over a slice in parallel, preserving
+/// input order, or returns the error of the **lowest** failing index
+/// (deterministic regardless of thread scheduling).
+///
+/// # Errors
+///
+/// Returns the error produced at the smallest index for which `f` failed.
+///
+/// # Examples
+///
+/// ```
+/// let halves: Result<Vec<u32>, String> =
+///     pdn_num::parallel::try_par_map(&[2u32, 4, 7], |&x| {
+///         if x % 2 == 0 { Ok(x / 2) } else { Err(format!("{x} is odd")) }
+///     });
+/// assert_eq!(halves, Err("7 is odd".into()));
+/// ```
+pub fn try_par_map<T, R, E, F>(items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    try_par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,157 @@
+//! Golden regression tests for the paper's verification figures.
+//!
+//! Figure 7 (|S21| of the HP test plane's extracted macromodel) and
+//! Figure 8 (equivalent-circuit vs FDTD transient overlay) are pinned
+//! against reference vectors committed under `tests/golden/`. The physics
+//! assertions live in `paper_experiments.rs`; these tests catch *any*
+//! numerical drift — an extraction change, a solver reordering, a stamp
+//! edit — long before it grows large enough to move a physics threshold.
+//!
+//! The references were produced by this code base (see
+//! [`regenerate_golden_vectors`]) and are stored with 17 significant
+//! digits, so in a fixed environment the comparison is exact to
+//! round-off. The explicit tolerances below only allow for benign libm
+//! differences across platforms:
+//!
+//! * Figure 7: `TOL_DB` absolute on |S21| in dB;
+//! * Figure 8: `TOL_V` absolute on waveform samples in volts.
+//!
+//! To regenerate after an *intentional* numerical change:
+//! `GOLDEN_REGEN=1 cargo test --test golden_figures -- --include-ignored regenerate`
+
+use pdn::prelude::*;
+use pdn_circuit::Waveform;
+use std::fmt::Write as _;
+
+/// Absolute tolerance on |S21| golden values (dB).
+const TOL_DB: f64 = 1e-6;
+/// Absolute tolerance on transient golden samples (V).
+const TOL_V: f64 = 1e-6;
+
+/// The Figure 7/8 structure: the HP test plane at test-runtime mesh
+/// density (same spec as `paper_experiments.rs` uses).
+fn hp_plane_coarse() -> PlaneSpec {
+    let mut spec = PlaneSpec::rectangle(mm(40.0), mm(16.0), 280e-6, 9.6)
+        .expect("valid pair")
+        .with_sheet_resistance(6e-3)
+        .with_cell_size(mm(2.0));
+    for k in 0..5 {
+        spec = spec.with_port(format!("P{}", k + 1), mm(4.0 + 8.0 * k as f64), mm(8.0));
+    }
+    spec
+}
+
+fn fig7_freqs() -> Vec<f64> {
+    (1..=20).map(|k| k as f64 * 0.25e9).collect()
+}
+
+/// Computes the Figure 7 curve: (frequency, |S21| dB) of the extracted
+/// macromodel between ports P1 and P2.
+fn compute_fig7() -> Vec<(f64, f64)> {
+    let spec = hp_plane_coarse();
+    let extracted = spec
+        .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+        .expect("extractable");
+    let freqs = fig7_freqs();
+    let s21 = verify::circuit_s21_db(extracted.equivalent(), 0, 1, &freqs, 50.0).expect("solvable");
+    freqs.into_iter().zip(s21).collect()
+}
+
+/// Computes the Figure 8 overlay subsampled to every 25th point:
+/// (time, circuit voltage, FDTD voltage) at the watch port.
+fn compute_fig8() -> Vec<(f64, f64, f64)> {
+    let spec = hp_plane_coarse();
+    let extracted = spec
+        .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+        .expect("extractable");
+    let stim = Waveform::pulse(0.0, 5.0, 0.1e-9, 0.2e-9, 0.2e-9, 1.0e-9);
+    let cmp = verify::transient_comparison(&spec, &extracted, 0, 1, stim, 50.0, 5e-9, 2e-12)
+        .expect("comparable");
+    cmp.time
+        .iter()
+        .zip(&cmp.circuit)
+        .zip(&cmp.fdtd)
+        .step_by(25)
+        .map(|((&t, &c), &f)| (t, c, f))
+        .collect()
+}
+
+/// Parses a committed golden CSV: `#`-comment and header lines skipped,
+/// one row of `cols` comma-separated floats per line.
+fn parse_golden(text: &str, cols: usize) -> Vec<Vec<f64>> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with(char::is_alphabetic))
+        .map(|l| {
+            let row: Vec<f64> = l
+                .split(',')
+                .map(|v| v.trim().parse::<f64>().expect("numeric golden entry"))
+                .collect();
+            assert_eq!(row.len(), cols, "golden row width: {l}");
+            row
+        })
+        .collect()
+}
+
+#[test]
+fn fig7_s21_matches_golden() {
+    let golden = parse_golden(include_str!("golden/fig7_s21.csv"), 2);
+    let fresh = compute_fig7();
+    assert_eq!(fresh.len(), golden.len(), "point count");
+    for ((f, db), row) in fresh.iter().zip(&golden) {
+        assert_eq!(*f, row[0], "frequency grid is part of the contract");
+        assert!(
+            (db - row[1]).abs() <= TOL_DB,
+            "|S21| at {f:.3e} Hz drifted: {db:.12} dB vs golden {:.12} dB",
+            row[1]
+        );
+    }
+}
+
+/// Slow (full FDTD reference run); nightly `--include-ignored` suite.
+#[test]
+#[ignore]
+fn fig8_transient_matches_golden() {
+    let golden = parse_golden(include_str!("golden/fig8_transient.csv"), 3);
+    let fresh = compute_fig8();
+    assert_eq!(fresh.len(), golden.len(), "sample count");
+    for ((t, c, f), row) in fresh.iter().zip(&golden) {
+        assert_eq!(*t, row[0], "time base is part of the contract");
+        assert!(
+            (c - row[1]).abs() <= TOL_V,
+            "circuit waveform at {t:.3e} s drifted: {c:.12} V vs golden {:.12} V",
+            row[1]
+        );
+        assert!(
+            (f - row[2]).abs() <= TOL_V,
+            "FDTD waveform at {t:.3e} s drifted: {f:.12} V vs golden {:.12} V",
+            row[2]
+        );
+    }
+}
+
+/// Rewrites the committed reference vectors from the current code. Only
+/// acts when `GOLDEN_REGEN=1`, so the nightly `--include-ignored` run
+/// cannot silently dirty the tree.
+#[test]
+#[ignore]
+fn regenerate_golden_vectors() {
+    if std::env::var("GOLDEN_REGEN").as_deref() != Ok("1") {
+        eprintln!("GOLDEN_REGEN != 1; skipping regeneration");
+        return;
+    }
+    let mut fig7 = String::from("# |S21(P1->P2)| of the coarse HP test plane macromodel.\n");
+    fig7.push_str("freq_hz,s21_db\n");
+    for (f, db) in compute_fig7() {
+        writeln!(fig7, "{f:.17e},{db:.17e}").unwrap();
+    }
+    std::fs::write("tests/golden/fig7_s21.csv", fig7).unwrap();
+
+    let mut fig8 =
+        String::from("# Figure 8 transient overlay at P2, subsampled to every 25th point.\n");
+    fig8.push_str("time_s,circuit_v,fdtd_v\n");
+    for (t, c, f) in compute_fig8() {
+        writeln!(fig8, "{t:.17e},{c:.17e},{f:.17e}").unwrap();
+    }
+    std::fs::write("tests/golden/fig8_transient.csv", fig8).unwrap();
+}
