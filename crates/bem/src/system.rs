@@ -17,8 +17,19 @@
 use crate::assembly::{assemble_matrices, AssembleBemError, BemOptions, RawMatrices};
 use pdn_geom::{PlaneMesh, PlanePair};
 use pdn_greens::SurfaceImpedance;
-use pdn_num::{c64, parallel, LuDecomposition, Matrix};
+use pdn_num::rational::{self, SweepAccuracy, SweepError, SweepOutcome};
+use pdn_num::{c64, LuDecomposition, Matrix};
 use std::f64::consts::PI;
+
+/// Maps a shared-engine error onto this crate's error type: grid
+/// problems become [`AssembleBemError::InvalidInput`], evaluation errors
+/// pass through.
+fn from_sweep_err(e: SweepError<AssembleBemError>) -> AssembleBemError {
+    match e {
+        SweepError::InvalidInput(msg) => AssembleBemError::InvalidInput(msg),
+        SweepError::Eval(e) => e,
+    }
+}
 
 /// An assembled boundary-element system for one plane structure.
 #[derive(Debug, Clone)]
@@ -237,33 +248,112 @@ impl BemSystem {
     ///
     /// Output order matches `freqs` and is identical for every worker
     /// count (each sweep point is solved independently by one thread).
+    /// Equivalent to
+    /// [`admittance_sweep_with`](Self::admittance_sweep_with) at
+    /// [`SweepAccuracy::Exact`].
     ///
     /// # Errors
     ///
-    /// Returns the error of the lowest-index failing point; every
-    /// frequency must satisfy `f > 0`.
+    /// Returns the error of the lowest-index failing point; the grid must
+    /// be finite, strictly positive, and strictly increasing.
     pub fn admittance_sweep(&self, freqs: &[f64]) -> Result<Vec<Matrix<c64>>, AssembleBemError> {
-        parallel::try_par_map_indexed(freqs.len(), |k| self.nodal_admittance(freqs[k]))
+        self.admittance_sweep_with(freqs, SweepAccuracy::Exact)
+    }
+
+    /// [`admittance_sweep`](Self::admittance_sweep) with an explicit
+    /// [`SweepAccuracy`] policy — `Rational` solves only adaptively
+    /// chosen anchor frequencies exactly and fills the rest from a
+    /// certified barycentric interpolant (see `pdn_num::rational`).
+    ///
+    /// # Errors
+    ///
+    /// [`AssembleBemError::InvalidInput`] for an invalid grid or
+    /// tolerance; otherwise the lowest-index failing point's error.
+    pub fn admittance_sweep_with(
+        &self,
+        freqs: &[f64],
+        accuracy: SweepAccuracy,
+    ) -> Result<Vec<Matrix<c64>>, AssembleBemError> {
+        Ok(self.admittance_sweep_detailed(freqs, accuracy)?.values)
+    }
+
+    /// [`admittance_sweep_with`](Self::admittance_sweep_with) returning
+    /// the full [`SweepOutcome`] (values, engine stats, rational model).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as
+    /// [`admittance_sweep_with`](Self::admittance_sweep_with).
+    pub fn admittance_sweep_detailed(
+        &self,
+        freqs: &[f64],
+        accuracy: SweepAccuracy,
+    ) -> Result<SweepOutcome, AssembleBemError> {
+        rational::sweep("bem.admittance", freqs, accuracy, |f| {
+            self.nodal_admittance(f)
+        })
+        .map_err(from_sweep_err)
     }
 
     /// Batched [`port_impedance`](Self::port_impedance): one port
     /// impedance matrix per frequency, computed on [`pdn_num::parallel`]
     /// workers with one cached LU factorization per sweep point (shared
-    /// across all port excitations at that point).
+    /// across all port excitations at that point). Equivalent to
+    /// [`impedance_sweep_with`](Self::impedance_sweep_with) at
+    /// [`SweepAccuracy::Exact`].
     ///
     /// # Errors
     ///
-    /// Returns the error of the lowest-index failing point; every
-    /// frequency must satisfy `f > 0`.
+    /// Returns the error of the lowest-index failing point; the grid must
+    /// be finite, strictly positive, and strictly increasing.
     ///
     /// # Panics
     ///
     /// Panics if no ports are bound to the mesh.
     pub fn impedance_sweep(&self, freqs: &[f64]) -> Result<Vec<Matrix<c64>>, AssembleBemError> {
-        parallel::try_par_map_indexed(freqs.len(), |k| {
-            let y = self.nodal_admittance(freqs[k])?;
+        self.impedance_sweep_with(freqs, SweepAccuracy::Exact)
+    }
+
+    /// [`impedance_sweep`](Self::impedance_sweep) with an explicit
+    /// [`SweepAccuracy`] policy.
+    ///
+    /// # Errors
+    ///
+    /// [`AssembleBemError::InvalidInput`] for an invalid grid or
+    /// tolerance; otherwise the lowest-index failing point's error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no ports are bound to the mesh.
+    pub fn impedance_sweep_with(
+        &self,
+        freqs: &[f64],
+        accuracy: SweepAccuracy,
+    ) -> Result<Vec<Matrix<c64>>, AssembleBemError> {
+        Ok(self.impedance_sweep_detailed(freqs, accuracy)?.values)
+    }
+
+    /// [`impedance_sweep_with`](Self::impedance_sweep_with) returning the
+    /// full [`SweepOutcome`] (values, engine stats, rational model).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as
+    /// [`impedance_sweep_with`](Self::impedance_sweep_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no ports are bound to the mesh.
+    pub fn impedance_sweep_detailed(
+        &self,
+        freqs: &[f64],
+        accuracy: SweepAccuracy,
+    ) -> Result<SweepOutcome, AssembleBemError> {
+        rational::sweep("bem.impedance", freqs, accuracy, |f| {
+            let y = self.nodal_admittance(f)?;
             self.port_impedance_from_admittance(y)
         })
+        .map_err(from_sweep_err)
     }
 
     /// Scans `|Z(port, port)|` over a frequency grid and returns the
@@ -285,6 +375,27 @@ impl BemSystem {
         f_stop: f64,
         points: usize,
     ) -> Result<Vec<f64>, AssembleBemError> {
+        self.find_resonances_with(port, f_start, f_stop, points, SweepAccuracy::Exact)
+    }
+
+    /// [`find_resonances`](Self::find_resonances) with an explicit
+    /// [`SweepAccuracy`] policy. Under `Rational` accuracy the rational
+    /// model's poles seed the peak search (each in-band pole is refined
+    /// against `|Z|` near its real part) instead of rescanning the filled
+    /// grid; peaks are always returned ascending with maxima closer than
+    /// one grid step deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`find_resonances`](Self::find_resonances).
+    pub fn find_resonances_with(
+        &self,
+        port: usize,
+        f_start: f64,
+        f_stop: f64,
+        points: usize,
+        accuracy: SweepAccuracy,
+    ) -> Result<Vec<f64>, AssembleBemError> {
         if points < 2 {
             return Err(AssembleBemError::InvalidInput(format!(
                 "resonance scan needs at least two sweep points, got {points}"
@@ -299,15 +410,18 @@ impl BemSystem {
         let freqs: Vec<f64> = (0..points)
             .map(|k| f_start + (f_stop - f_start) * k as f64 / (points - 1) as f64)
             .collect();
-        let z = self.impedance_sweep(&freqs)?;
-        let mags: Vec<f64> = z.iter().map(|zk| zk[(port, port)].norm()).collect();
-        let mut peaks: Vec<f64> = Vec::new();
-        for k in 1..points - 1 {
-            if mags[k] > mags[k - 1] && mags[k] > mags[k + 1] {
-                peaks.push(freqs[k]);
+        let outcome = self.impedance_sweep_detailed(&freqs, accuracy)?;
+        let mags: Vec<f64> = outcome
+            .values
+            .iter()
+            .map(|zk| zk[(port, port)].norm())
+            .collect();
+        Ok(match &outcome.model {
+            Some(model) => {
+                rational::pole_seeded_peaks(&freqs, &mags, model, &|z| z[(port, port)].norm())
             }
-        }
-        Ok(peaks)
+            None => rational::peaks_on_grid(&freqs, &mags),
+        })
     }
 }
 

@@ -6,8 +6,19 @@
 //! insight of high frequency characteristics").
 
 use crate::netlist::{Circuit, Element, NodeId, SimulateCircuitError, SourceId};
-use pdn_num::{c64, parallel, LuDecomposition, Matrix};
+use pdn_num::rational::{self, SweepAccuracy, SweepError, SweepOutcome};
+use pdn_num::{c64, LuDecomposition, Matrix};
 use std::f64::consts::PI;
+
+/// Maps a sweep-engine error onto the circuit error type: grid/tolerance
+/// problems become [`SimulateCircuitError::InvalidSpec`], solver failures
+/// pass through.
+pub(crate) fn from_sweep_err(e: SweepError<SimulateCircuitError>) -> SimulateCircuitError {
+    match e {
+        SweepError::InvalidInput(msg) => SimulateCircuitError::InvalidSpec(msg),
+        SweepError::Eval(e) => e,
+    }
+}
 
 /// A frequency sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,10 +211,27 @@ impl Circuit {
     /// cannot be factored at some frequency (the lowest failing frequency
     /// is reported).
     pub fn ac(&self, sweep: &AcSweep, excite: SourceId) -> Result<AcResult, SimulateCircuitError> {
+        self.ac_with(sweep, excite, SweepAccuracy::Exact)
+    }
+
+    /// [`ac`](Self::ac) with an explicit [`SweepAccuracy`] policy —
+    /// `Rational` factors only adaptively chosen anchor frequencies and
+    /// fills the rest from a certified rational interpolant of the node
+    /// voltage vector (see `pdn_num::rational`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ac`](Self::ac), plus
+    /// [`SimulateCircuitError::InvalidSpec`] for an invalid tolerance.
+    pub fn ac_with(
+        &self,
+        sweep: &AcSweep,
+        excite: SourceId,
+        accuracy: SweepAccuracy,
+    ) -> Result<AcResult, SimulateCircuitError> {
         let n = self.n_nodes;
         let dim = n + self.n_vsources;
-        let voltages = parallel::try_par_map_indexed(sweep.freqs.len(), |k| {
-            let f = sweep.freqs[k];
+        let outcome = rational::sweep("circuit.ac", &sweep.freqs, accuracy, |f| {
             let omega = 2.0 * PI * f;
             let a = self.ac_matrix(omega);
             let mut rhs = vec![c64::ZERO; dim];
@@ -211,10 +239,18 @@ impl Circuit {
             let x = LuDecomposition::new(a)
                 .and_then(|lu| lu.solve(&rhs))
                 .map_err(|e| SimulateCircuitError::Singular(format!("f = {f}: {e}")))?;
-            let mut v = vec![c64::ZERO; n + 1];
-            v[1..(n + 1)].copy_from_slice(&x[..n]);
+            let mut v = Matrix::<c64>::zeros(n + 1, 1);
+            for (node, &xk) in x[..n].iter().enumerate() {
+                v[(node + 1, 0)] = xk;
+            }
             Ok(v)
-        })?;
+        })
+        .map_err(from_sweep_err)?;
+        let voltages = outcome
+            .values
+            .into_iter()
+            .map(|v| (0..n + 1).map(|node| v[(node, 0)]).collect())
+            .collect();
         Ok(AcResult {
             freqs: sweep.freqs.clone(),
             voltages,
@@ -265,11 +301,14 @@ impl Circuit {
     /// Batched [`impedance_matrix`](Self::impedance_matrix): one port
     /// impedance matrix per frequency, computed on [`pdn_num::parallel`]
     /// workers. Each sweep point factors its complex MNA matrix once and
-    /// reuses the factorization across all port excitations.
+    /// reuses the factorization across all port excitations. Equivalent
+    /// to [`impedance_sweep_with`](Self::impedance_sweep_with) at
+    /// [`SweepAccuracy::Exact`].
     ///
     /// # Errors
     ///
-    /// Returns the error of the lowest-index failing frequency.
+    /// Returns the error of the lowest-index failing frequency; the grid
+    /// must be finite, strictly positive, and strictly increasing.
     ///
     /// # Panics
     ///
@@ -279,7 +318,52 @@ impl Circuit {
         freqs: &[f64],
         ports: &[NodeId],
     ) -> Result<Vec<Matrix<c64>>, SimulateCircuitError> {
-        parallel::try_par_map_indexed(freqs.len(), |k| self.impedance_matrix(freqs[k], ports))
+        self.impedance_sweep_with(freqs, ports, SweepAccuracy::Exact)
+    }
+
+    /// [`impedance_sweep`](Self::impedance_sweep) with an explicit
+    /// [`SweepAccuracy`] policy.
+    ///
+    /// # Errors
+    ///
+    /// [`SimulateCircuitError::InvalidSpec`] for an invalid grid or
+    /// tolerance; otherwise the lowest-index failing frequency's error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a port is the ground node.
+    pub fn impedance_sweep_with(
+        &self,
+        freqs: &[f64],
+        ports: &[NodeId],
+        accuracy: SweepAccuracy,
+    ) -> Result<Vec<Matrix<c64>>, SimulateCircuitError> {
+        Ok(self
+            .impedance_sweep_detailed(freqs, ports, accuracy)?
+            .values)
+    }
+
+    /// [`impedance_sweep_with`](Self::impedance_sweep_with) returning the
+    /// full [`SweepOutcome`] (values, engine stats, rational model).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as
+    /// [`impedance_sweep_with`](Self::impedance_sweep_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a port is the ground node.
+    pub fn impedance_sweep_detailed(
+        &self,
+        freqs: &[f64],
+        ports: &[NodeId],
+        accuracy: SweepAccuracy,
+    ) -> Result<SweepOutcome, SimulateCircuitError> {
+        rational::sweep("circuit.impedance", freqs, accuracy, |f| {
+            self.impedance_matrix(f, ports)
+        })
+        .map_err(from_sweep_err)
     }
 }
 

@@ -73,6 +73,6 @@ pub mod prelude {
     pub use pdn_geom::units::{ghz, inch, mhz, mil, mm, nf, nh, ns, pf, ps, uf, um};
     pub use pdn_geom::{PlaneMesh, PlanePair, Point, Polygon, Stackup};
     pub use pdn_greens::{LayeredKernel, SurfaceImpedance};
-    pub use pdn_num::{c64, Matrix};
+    pub use pdn_num::{c64, Matrix, SweepAccuracy, SweepStats};
     pub use pdn_tline::{simulate_coupled_pair, MicrostripArray};
 }

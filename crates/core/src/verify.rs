@@ -12,7 +12,7 @@ use crate::flow::{ExtractedPlane, PlaneSpec};
 use pdn_circuit::{Circuit, NodeId, TransientSpec, Waveform};
 use pdn_extract::EquivalentCircuit;
 use pdn_fdtd::PlaneFdtd;
-use pdn_num::{c64, fft, next_pow2};
+use pdn_num::{c64, fft, next_pow2, SweepAccuracy};
 use std::error::Error;
 
 /// `|S21|` (dB) of the extracted macromodel between two ports over a
@@ -29,7 +29,25 @@ pub fn circuit_s21_db(
     freqs: &[f64],
     z0: f64,
 ) -> Result<Vec<f64>, Box<dyn Error>> {
-    let sweep = eq.s_parameter_sweep(freqs, z0)?;
+    circuit_s21_db_with(eq, p_in, p_out, freqs, z0, SweepAccuracy::Exact)
+}
+
+/// [`circuit_s21_db`] with an explicit [`SweepAccuracy`] policy —
+/// `Rational` pays an exact solve only at adaptively chosen anchor
+/// frequencies and interpolates the rest with a certified rational model.
+///
+/// # Errors
+///
+/// Propagates solve failures.
+pub fn circuit_s21_db_with(
+    eq: &EquivalentCircuit,
+    p_in: usize,
+    p_out: usize,
+    freqs: &[f64],
+    z0: f64,
+    accuracy: SweepAccuracy,
+) -> Result<Vec<f64>, Box<dyn Error>> {
+    let sweep = eq.s_parameter_sweep_with(freqs, z0, accuracy)?;
     Ok(sweep.iter().map(|s| s[(p_out, p_in)].db()).collect())
 }
 
@@ -101,6 +119,24 @@ pub fn circuit_resonances(
     Ok(eq.find_resonances(port, f_start, f_stop, points)?)
 }
 
+/// [`circuit_resonances`] with an explicit [`SweepAccuracy`] policy; under
+/// `Rational` the macromodel's rational-interpolant poles seed the peak
+/// search.
+///
+/// # Errors
+///
+/// Propagates solve failures.
+pub fn circuit_resonances_with(
+    eq: &EquivalentCircuit,
+    port: usize,
+    f_start: f64,
+    f_stop: f64,
+    points: usize,
+    accuracy: SweepAccuracy,
+) -> Result<Vec<f64>, Box<dyn Error>> {
+    Ok(eq.find_resonances_with(port, f_start, f_stop, points, accuracy)?)
+}
+
 /// Resonant frequencies seen by the FDTD reference: ring-down spectrum
 /// peaks of the port voltage, ascending, within `[f_start, f_stop]`.
 ///
@@ -164,10 +200,26 @@ pub fn circuit_strongest_peak(
     f_stop: f64,
     points: usize,
 ) -> Result<(f64, f64), Box<dyn Error>> {
+    circuit_strongest_peak_with(eq, port, f_start, f_stop, points, SweepAccuracy::Exact)
+}
+
+/// [`circuit_strongest_peak`] with an explicit [`SweepAccuracy`] policy.
+///
+/// # Errors
+///
+/// Propagates solve failures; errors if no peak exists in the window.
+pub fn circuit_strongest_peak_with(
+    eq: &EquivalentCircuit,
+    port: usize,
+    f_start: f64,
+    f_stop: f64,
+    points: usize,
+    accuracy: SweepAccuracy,
+) -> Result<(f64, f64), Box<dyn Error>> {
     let freqs: Vec<f64> = (0..points)
         .map(|k| f_start + (f_stop - f_start) * k as f64 / (points - 1) as f64)
         .collect();
-    let z = eq.impedance_sweep(&freqs)?;
+    let z = eq.impedance_sweep_with(&freqs, accuracy)?;
     let mags: Vec<f64> = z.iter().map(|zk| zk[(port, port)].norm()).collect();
     let mut best: Option<(f64, f64)> = None;
     for k in 1..points.saturating_sub(1) {

@@ -3,10 +3,21 @@
 use crate::reduce::kron_reduce;
 use pdn_bem::BemSystem;
 use pdn_circuit::{Circuit, NodeId};
+use pdn_num::rational::{self, SweepAccuracy, SweepError, SweepOutcome};
 use pdn_num::{c64, CholeskyDecomposition, LuDecomposition, Matrix};
 use std::error::Error;
 use std::f64::consts::PI;
 use std::fmt;
+
+/// Maps a sweep-engine error onto the extraction error type: grid and
+/// tolerance problems become [`ExtractCircuitError::InvalidInput`],
+/// solver failures pass through.
+fn from_sweep_err(e: SweepError<ExtractCircuitError>) -> ExtractCircuitError {
+    match e {
+        SweepError::InvalidInput(msg) => ExtractCircuitError::InvalidInput(msg),
+        SweepError::Eval(e) => e,
+    }
+}
 
 /// Which BEM cells become circuit nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +90,9 @@ impl Branch {
 pub enum ExtractCircuitError {
     /// The mesh has no bound ports (nothing to extract for).
     NoPorts,
+    /// A caller-supplied sweep grid or tolerance is invalid (empty,
+    /// non-finite, non-positive, or non-monotonic frequencies).
+    InvalidInput(String),
     /// A reduction or solve failed (e.g. a net with no retained node).
     NumericalBreakdown(String),
 }
@@ -87,6 +101,7 @@ impl fmt::Display for ExtractCircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExtractCircuitError::NoPorts => write!(f, "mesh has no bound ports"),
+            ExtractCircuitError::InvalidInput(s) => write!(f, "invalid input: {s}"),
             ExtractCircuitError::NumericalBreakdown(s) => {
                 write!(f, "equivalent-circuit extraction failed: {s}")
             }
@@ -443,36 +458,117 @@ impl EquivalentCircuit {
     /// Batched [`impedance`](Self::impedance): one port impedance matrix
     /// per frequency, computed on [`pdn_num::parallel`] workers with one
     /// cached admittance factorization per sweep point. Output order
-    /// matches `freqs` and is identical for any worker count.
+    /// matches `freqs` and is identical for any worker count. Equivalent
+    /// to [`impedance_sweep_with`](Self::impedance_sweep_with) at
+    /// [`SweepAccuracy::Exact`].
     ///
     /// # Errors
     ///
-    /// Returns the error of the lowest-index failing point.
+    /// Returns the error of the lowest-index failing point; the grid must
+    /// be finite, strictly positive, and strictly increasing.
     pub fn impedance_sweep(&self, freqs: &[f64]) -> Result<Vec<Matrix<c64>>, ExtractCircuitError> {
-        pdn_num::parallel::try_par_map_indexed(freqs.len(), |k| self.impedance(freqs[k]))
+        self.impedance_sweep_with(freqs, SweepAccuracy::Exact)
+    }
+
+    /// [`impedance_sweep`](Self::impedance_sweep) with an explicit
+    /// [`SweepAccuracy`] policy — `Rational` factors only adaptively
+    /// chosen anchor frequencies exactly and fills the rest from a
+    /// certified barycentric interpolant (see `pdn_num::rational`).
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractCircuitError::InvalidInput`] for an invalid grid or
+    /// tolerance; otherwise the lowest-index failing point's error.
+    pub fn impedance_sweep_with(
+        &self,
+        freqs: &[f64],
+        accuracy: SweepAccuracy,
+    ) -> Result<Vec<Matrix<c64>>, ExtractCircuitError> {
+        Ok(self.impedance_sweep_detailed(freqs, accuracy)?.values)
+    }
+
+    /// [`impedance_sweep_with`](Self::impedance_sweep_with) returning the
+    /// full [`SweepOutcome`] (values, engine stats, rational model).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as
+    /// [`impedance_sweep_with`](Self::impedance_sweep_with).
+    pub fn impedance_sweep_detailed(
+        &self,
+        freqs: &[f64],
+        accuracy: SweepAccuracy,
+    ) -> Result<SweepOutcome, ExtractCircuitError> {
+        rational::sweep("extract.impedance", freqs, accuracy, |f| self.impedance(f))
+            .map_err(from_sweep_err)
     }
 
     /// Batched [`s_parameters`](Self::s_parameters) over a frequency
-    /// sweep, parallel per point.
+    /// sweep, parallel per point. Equivalent to
+    /// [`s_parameter_sweep_with`](Self::s_parameter_sweep_with) at
+    /// [`SweepAccuracy::Exact`].
     ///
     /// # Errors
     ///
-    /// Returns the error of the lowest-index failing point.
+    /// Returns the error of the lowest-index failing point; the grid must
+    /// be finite, strictly positive, and strictly increasing.
     pub fn s_parameter_sweep(
         &self,
         freqs: &[f64],
         z0: f64,
     ) -> Result<Vec<Matrix<c64>>, ExtractCircuitError> {
-        pdn_num::parallel::try_par_map_indexed(freqs.len(), |k| self.s_parameters(freqs[k], z0))
+        self.s_parameter_sweep_with(freqs, z0, SweepAccuracy::Exact)
     }
 
-    /// Finds the input-impedance resonances at a port, ascending. The
-    /// scan grid is solved by [`impedance_sweep`](Self::impedance_sweep),
-    /// so points are evaluated in parallel.
+    /// [`s_parameter_sweep`](Self::s_parameter_sweep) with an explicit
+    /// [`SweepAccuracy`] policy — under `Rational`, the scattering matrix
+    /// itself is interpolated (S inherits the rational structure of Z).
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractCircuitError::InvalidInput`] for an invalid grid or
+    /// tolerance; otherwise the lowest-index failing point's error.
+    pub fn s_parameter_sweep_with(
+        &self,
+        freqs: &[f64],
+        z0: f64,
+        accuracy: SweepAccuracy,
+    ) -> Result<Vec<Matrix<c64>>, ExtractCircuitError> {
+        Ok(self.s_parameter_sweep_detailed(freqs, z0, accuracy)?.values)
+    }
+
+    /// [`s_parameter_sweep_with`](Self::s_parameter_sweep_with) returning
+    /// the full [`SweepOutcome`] (values, engine stats, rational model).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as
+    /// [`s_parameter_sweep_with`](Self::s_parameter_sweep_with).
+    pub fn s_parameter_sweep_detailed(
+        &self,
+        freqs: &[f64],
+        z0: f64,
+        accuracy: SweepAccuracy,
+    ) -> Result<SweepOutcome, ExtractCircuitError> {
+        rational::sweep("extract.sparams", freqs, accuracy, |f| {
+            self.s_parameters(f, z0)
+        })
+        .map_err(from_sweep_err)
+    }
+
+    /// Finds the input-impedance resonances at a port, **ascending** with
+    /// peaks closer than one grid step deduplicated. The scan grid is
+    /// solved by [`impedance_sweep`](Self::impedance_sweep), so points
+    /// are evaluated in parallel.
     ///
     /// # Errors
     ///
     /// Propagates solve failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `points >= 3` and `0 < f_start < f_stop` (the
+    /// [`crate::resonance::linear_grid`] contract).
     pub fn find_resonances(
         &self,
         port: usize,
@@ -480,10 +576,43 @@ impl EquivalentCircuit {
         f_stop: f64,
         points: usize,
     ) -> Result<Vec<f64>, ExtractCircuitError> {
+        self.find_resonances_with(port, f_start, f_stop, points, SweepAccuracy::Exact)
+    }
+
+    /// [`find_resonances`](Self::find_resonances) with an explicit
+    /// [`SweepAccuracy`] policy. Under `Rational` accuracy the rational
+    /// model's poles seed the peak search (each in-band pole is refined
+    /// against `|Z|` near its real part) instead of rescanning the filled
+    /// grid.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`find_resonances`](Self::find_resonances).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `points >= 3` and `0 < f_start < f_stop`.
+    pub fn find_resonances_with(
+        &self,
+        port: usize,
+        f_start: f64,
+        f_stop: f64,
+        points: usize,
+        accuracy: SweepAccuracy,
+    ) -> Result<Vec<f64>, ExtractCircuitError> {
         let freqs = crate::resonance::linear_grid(f_start, f_stop, points);
-        let z = self.impedance_sweep(&freqs)?;
-        let mags: Vec<f64> = z.iter().map(|zk| zk[(port, port)].norm()).collect();
-        Ok(crate::resonance::peaks_on_grid(&freqs, &mags))
+        let outcome = self.impedance_sweep_detailed(&freqs, accuracy)?;
+        let mags: Vec<f64> = outcome
+            .values
+            .iter()
+            .map(|zk| zk[(port, port)].norm())
+            .collect();
+        Ok(match &outcome.model {
+            Some(model) => {
+                rational::pole_seeded_peaks(&freqs, &mags, model, &|z| z[(port, port)].norm())
+            }
+            None => rational::peaks_on_grid(&freqs, &mags),
+        })
     }
 
     /// Exports the macromodel into a [`pdn_circuit::Circuit`] with the

@@ -60,6 +60,10 @@ pub fn linear_grid(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
 /// parabolic refinement — the detection half of [`find_impedance_peaks`],
 /// usable on grids evaluated in a batched (parallel) sweep.
 ///
+/// Delegates to [`pdn_num::rational::peaks_on_grid`], which is shared
+/// with the BEM resonance scan: peaks come back **ascending**, with any
+/// pair closer than one grid step deduplicated (the stronger peak wins).
+///
 /// # Panics
 ///
 /// Panics if `freqs` and `mags` differ in length or hold fewer than three
@@ -67,22 +71,7 @@ pub fn linear_grid(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
 pub fn peaks_on_grid(freqs: &[f64], mags: &[f64]) -> Vec<f64> {
     assert_eq!(freqs.len(), mags.len(), "one magnitude per grid point");
     assert!(freqs.len() >= 3, "need at least three scan points");
-    let df = freqs[1] - freqs[0];
-    let mut peaks = Vec::new();
-    for k in 1..freqs.len() - 1 {
-        if mags[k] > mags[k - 1] && mags[k] > mags[k + 1] {
-            // Parabolic refinement of the peak position.
-            let (y0, y1, y2) = (mags[k - 1], mags[k], mags[k + 1]);
-            let denom = y0 - 2.0 * y1 + y2;
-            let shift = if denom.abs() > 0.0 {
-                (0.5 * (y0 - y2) / denom).clamp(-1.0, 1.0)
-            } else {
-                0.0
-            };
-            peaks.push(freqs[k] + shift * df);
-        }
-    }
-    peaks
+    pdn_num::rational::peaks_on_grid(freqs, mags)
 }
 
 #[cfg(test)]

@@ -36,15 +36,20 @@ pub mod matrix;
 pub mod parallel;
 pub mod phys;
 pub mod quadrature;
+pub mod rational;
 pub mod scalar;
 
 pub use cholesky::CholeskyDecomposition;
 pub use complex::c64;
-pub use eigen::{generalized_symmetric_eigen, symmetric_eigen, SymmetricEigen};
+pub use eigen::{
+    generalized_symmetric_eigen, hermitian_smallest_eigenvector, smallest_singular_vector,
+    symmetric_eigen, SymmetricEigen,
+};
 pub use fft::{fft, ifft, next_pow2, real_fft_magnitude};
 pub use lu::{LuDecomposition, SolveMatrixError};
 pub use matrix::{Matrix, Vector};
 pub use quadrature::GaussLegendre;
+pub use rational::{RationalModel, SweepAccuracy, SweepError, SweepOutcome, SweepStats};
 pub use scalar::Scalar;
 
 /// Relative/absolute mixed tolerance comparison used throughout the tests.

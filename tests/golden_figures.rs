@@ -108,6 +108,44 @@ fn fig7_s21_matches_golden() {
     }
 }
 
+#[test]
+fn fig7_rational_sweep_matches_golden_with_few_anchors() {
+    // The adaptive-sweep acceptance check: a `Rational` sweep over a
+    // dense 609-point grid running through all 20 golden frequencies
+    // must reproduce Figure 7 to golden accuracy while exact-factoring
+    // at most a quarter of the grid.
+    let golden = parse_golden(include_str!("golden/fig7_s21.csv"), 2);
+    let extracted = hp_plane_coarse()
+        .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+        .expect("extractable");
+    // 7.8125 MHz steps: every golden frequency k·0.25 GHz lands on grid
+    // index 32(k−1) bit-exactly. The grid is deliberately dense — the
+    // anchor count tracks the response's pole content, not the grid, so
+    // exact solves amortize as the grid refines.
+    let freqs: Vec<f64> = (0..609).map(|k| 0.25e9 + k as f64 * 7.8125e6).collect();
+    let outcome = extracted
+        .equivalent()
+        .s_parameter_sweep_detailed(&freqs, 50.0, SweepAccuracy::Rational { rel_tol: 1e-8 })
+        .expect("solvable");
+    assert!(
+        4 * outcome.stats.anchors <= freqs.len(),
+        "rational sweep factored {} of {} points",
+        outcome.stats.anchors,
+        freqs.len()
+    );
+    for (k, row) in golden.iter().enumerate() {
+        let idx = k * 32;
+        assert_eq!(freqs[idx], row[0], "golden frequency on the dense grid");
+        let db = outcome.values[idx][(1, 0)].db();
+        assert!(
+            (db - row[1]).abs() <= TOL_DB,
+            "|S21| at {:.3e} Hz drifted: {db:.12} dB vs golden {:.12} dB",
+            row[0],
+            row[1]
+        );
+    }
+}
+
 /// Slow (full FDTD reference run); nightly `--include-ignored` suite.
 #[test]
 #[ignore]
