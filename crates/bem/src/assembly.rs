@@ -15,7 +15,7 @@
 //!   loop current, so pass the series sheet resistance of the pair (e.g.
 //!   `2 × 6 mΩ/sq` for two identical tungsten planes).
 
-use pdn_geom::mesh::LinkDirection;
+use pdn_geom::mesh::{Link, LinkDirection};
 use pdn_geom::{PlaneMesh, PlanePair};
 use pdn_greens::{LayeredKernel, Rectangle, SurfaceImpedance};
 use pdn_num::{parallel, GaussLegendre, Matrix};
@@ -220,6 +220,160 @@ pub fn assemble_matrices(
     Ok(RawMatrices { p_coef, l, r_link })
 }
 
+/// Assembles `L` and `R` for a standalone set of links on the given cell
+/// raster — the stitch-branch hook behind sharded extraction.
+///
+/// Uses the exact panel-integral and loop-resistance formulas of
+/// [`assemble_matrices`], so a link evaluated here carries a self term
+/// bit-identical to the one it would get inside a full-mesh assembly; the
+/// mutuals among the given links (zero between orthogonal links) are kept.
+/// `dx`/`dy` must be the cell pitch of the mesh the links came from.
+pub fn assemble_link_matrices(
+    links: &[Link],
+    dx: f64,
+    dy: f64,
+    pair: &PlanePair,
+    zs: &SurfaceImpedance,
+    opts: &BemOptions,
+) -> (Matrix<f64>, Vec<f64>) {
+    let m = links.len();
+    let g_a = LayeredKernel::vector_potential(pair.separation);
+    let cell = Rectangle::new(dx, dy);
+    let area = dx * dy;
+    let quad = match opts.testing {
+        Testing::PointMatching => None,
+        Testing::Galerkin { order } => Some(GaussLegendre::new(order.max(2))),
+    };
+    let l_rows: Vec<Vec<f64>> = parallel::par_map_indexed(m, |i| {
+        (i..m)
+            .map(|j| {
+                if links[i].direction != links[j].direction {
+                    return 0.0; // orthogonal currents: zero quasi-static mutual
+                }
+                let off = (
+                    links[i].center.x - links[j].center.x,
+                    links[i].center.y - links[j].center.y,
+                );
+                let integral = match &quad {
+                    None => g_a.panel_integral(off, cell) * area,
+                    Some(q) => g_a.panel_galerkin(off, cell, cell, q) * area,
+                };
+                let w = match links[i].direction {
+                    LinkDirection::X => dy,
+                    LinkDirection::Y => dx,
+                };
+                integral / (w * w)
+            })
+            .collect()
+    });
+    let mut l = Matrix::zeros(m, m);
+    for (i, row) in l_rows.iter().enumerate() {
+        for (k, &v) in row.iter().enumerate() {
+            let j = i + k;
+            l[(i, j)] = v;
+            l[(j, i)] = v;
+        }
+    }
+    let r_dc = zs.dc_resistance();
+    let r_link = links
+        .iter()
+        .map(|lk| match lk.direction {
+            LinkDirection::X => r_dc * dx / dy,
+            LinkDirection::Y => r_dc * dy / dx,
+        })
+        .collect();
+    (l, r_link)
+}
+
+/// Cross-block diagonal lumping sums for a partitioned mesh — the seam
+/// compensation behind sharded extraction.
+///
+/// A domain-decomposed extraction keeps only the diagonal blocks of `P`
+/// and `L` (plus the cut-link stitch block): every kernel entry between
+/// cells or links in *different* blocks is dropped. Both kernels are
+/// strictly positive, so the dropped couplings bias the blocked model
+/// stiff — smaller effective inductance and larger capacitance, shifting
+/// plane resonances upward. This helper returns, for every cell and every
+/// link, the **row sum of its dropped entries**:
+///
+/// * `p_lump[i] = Σⱼ P(i, j)` over cells `j` with `cell_block[j] ≠
+///   cell_block[i]`,
+/// * `l_lump[i] = Σⱼ L(i, j)` over same-direction links `j` with
+///   `link_block[j] ≠ link_block[i]`.
+///
+/// Adding each sum to the corresponding diagonal entry of the block
+/// matrices ("mass lumping") preserves the row sums of the full `P` and
+/// `L` exactly, which makes the blocked model exact for the uniform
+/// modes: the total plate capacitance `1ᵀP⁻¹1` and the reluctance seen by
+/// a current crossing the seams uniformly. Since the additions are
+/// positive, symmetry and positive definiteness of the blocks are
+/// preserved.
+///
+/// `cell_block` / `link_block` assign a block id to every mesh cell /
+/// link (cut links get their own shared block, since the stitch keeps
+/// their mutuals). The kernels and quadrature match [`assemble_matrices`]
+/// entry by entry, and the result is bit-identical for any worker count.
+///
+/// # Panics
+///
+/// Panics when a block slice does not match the mesh's cell/link count.
+pub fn cross_block_lumping(
+    mesh: &PlaneMesh,
+    cell_block: &[usize],
+    link_block: &[usize],
+    pair: &PlanePair,
+    opts: &BemOptions,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = mesh.cell_count();
+    let m = mesh.link_count();
+    assert_eq!(cell_block.len(), n, "cell_block length mismatch");
+    assert_eq!(link_block.len(), m, "link_block length mismatch");
+    let g_phi = scalar_kernel(pair, opts);
+    let g_a = LayeredKernel::vector_potential(pair.separation);
+    let cell = Rectangle::new(mesh.dx(), mesh.dy());
+    let area = mesh.cell_area();
+    let quad = match opts.testing {
+        Testing::PointMatching => None,
+        Testing::Galerkin { order } => Some(GaussLegendre::new(order.max(2))),
+    };
+    let centers = mesh.cell_centers();
+    let p_lump = parallel::par_map_indexed(n, |i| {
+        (0..n)
+            .filter(|&j| cell_block[j] != cell_block[i])
+            .map(|j| {
+                let off = (centers[i].x - centers[j].x, centers[i].y - centers[j].y);
+                let p = match &quad {
+                    None => g_phi.panel_integral(off, cell),
+                    Some(q) => g_phi.panel_galerkin(off, cell, cell, q),
+                };
+                p / area
+            })
+            .sum()
+    });
+    let links = mesh.links();
+    let l_lump = parallel::par_map_indexed(m, |i| {
+        (0..m)
+            .filter(|&j| link_block[j] != link_block[i] && links[j].direction == links[i].direction)
+            .map(|j| {
+                let off = (
+                    links[i].center.x - links[j].center.x,
+                    links[i].center.y - links[j].center.y,
+                );
+                let integral = match &quad {
+                    None => g_a.panel_integral(off, cell) * area,
+                    Some(q) => g_a.panel_galerkin(off, cell, cell, q) * area,
+                };
+                let w = match links[i].direction {
+                    LinkDirection::X => mesh.dy(),
+                    LinkDirection::Y => mesh.dx(),
+                };
+                integral / (w * w)
+            })
+            .sum()
+    });
+    (p_lump, l_lump)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +504,87 @@ mod tests {
         let micro =
             assemble_matrices(&mesh, &pair, &zs, &BemOptions::default().with_microstrip()).unwrap();
         assert!(micro.p_coef[(0, 0)] > confined.p_coef[(0, 0)]);
+    }
+
+    #[test]
+    fn link_matrices_bit_identical_to_full_assembly() {
+        let (mesh, pair, raw) = small_system();
+        let zs = SurfaceImpedance::from_sheet_resistance(1e-3);
+        // Any link subset evaluated standalone must reproduce the
+        // corresponding block of the full L exactly — that is the
+        // bit-consistency contract the shard stitch relies on.
+        let subset = [0usize, 3, 7, mesh.link_count() - 1];
+        let links: Vec<_> = subset.iter().map(|&i| mesh.links()[i]).collect();
+        let (l_sub, r_sub) = assemble_link_matrices(
+            &links,
+            mesh.dx(),
+            mesh.dy(),
+            &pair,
+            &zs,
+            &BemOptions::default(),
+        );
+        for (a, &ga) in subset.iter().enumerate() {
+            assert_eq!(r_sub[a], raw.r_link[ga]);
+            for (b, &gb) in subset.iter().enumerate() {
+                assert_eq!(l_sub[(a, b)], raw.l[(ga, gb)], "entry ({ga},{gb})");
+            }
+        }
+        let (l_empty, r_empty) = assemble_link_matrices(
+            &[],
+            mesh.dx(),
+            mesh.dy(),
+            &pair,
+            &zs,
+            &BemOptions::default(),
+        );
+        assert_eq!(l_empty.nrows(), 0);
+        assert!(r_empty.is_empty());
+    }
+
+    #[test]
+    fn lumping_sums_match_dropped_row_sums_exactly() {
+        let (mesh, pair, raw) = small_system();
+        // Split cells/links down the middle by x and compare against the
+        // off-block row sums of the full matrices: every term is evaluated
+        // with the same kernel call, so the sums must agree bit-for-bit
+        // when accumulated in the same (ascending-j) order.
+        let mid = mm(5.0);
+        let cell_block: Vec<usize> = (0..mesh.cell_count())
+            .map(|i| usize::from(mesh.cell_center(i).x > mid))
+            .collect();
+        let link_block: Vec<usize> = mesh
+            .links()
+            .iter()
+            .map(|l| usize::from(l.center.x > mid))
+            .collect();
+        let (p_lump, l_lump) = cross_block_lumping(
+            &mesh,
+            &cell_block,
+            &link_block,
+            &pair,
+            &BemOptions::default(),
+        );
+        for i in 0..mesh.cell_count() {
+            let want: f64 = (0..mesh.cell_count())
+                .filter(|&j| cell_block[j] != cell_block[i])
+                .map(|j| raw.p_coef[(i, j)])
+                .sum();
+            let rel = (p_lump[i] - want).abs() / want;
+            assert!(rel < 1e-12, "cell {i}: {} vs {want}", p_lump[i]);
+            assert!(p_lump[i] > 0.0);
+        }
+        for i in 0..mesh.link_count() {
+            let want: f64 = (0..mesh.link_count())
+                .filter(|&j| link_block[j] != link_block[i])
+                .map(|j| raw.l[(i, j)])
+                .sum();
+            assert!(
+                (l_lump[i] - want).abs() <= 1e-12 * want.abs().max(1e-300),
+                "link {i}: {} vs {want}",
+                l_lump[i]
+            );
+            assert!(l_lump[i] >= 0.0);
+        }
     }
 
     #[test]

@@ -50,5 +50,8 @@
 pub mod assembly;
 pub mod system;
 
-pub use assembly::{AssembleBemError, BemOptions, Testing};
+pub use assembly::{
+    assemble_link_matrices, assemble_matrices, cross_block_lumping, AssembleBemError, BemOptions,
+    RawMatrices, Testing,
+};
 pub use system::BemSystem;

@@ -63,11 +63,52 @@ impl BemSystem {
         zs: &SurfaceImpedance,
         opts: &BemOptions,
     ) -> Result<Self, AssembleBemError> {
-        let RawMatrices { p_coef, l, r_link } = assemble_matrices(&mesh, pair, zs, opts)?;
-        let c = pdn_num::lu::invert(p_coef.clone())
-            .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
+        let raw = assemble_matrices(&mesh, pair, zs, opts)?;
+        Self::from_raw(mesh, pair, zs, raw)
+    }
+
+    /// Builds a system from externally assembled (or adjusted) matrices.
+    ///
+    /// This is the hook behind sharded extraction, where the regional
+    /// `P`/`L` diagonals carry cross-region lumping corrections (see
+    /// [`crate::assembly::cross_block_lumping`]) before the system is
+    /// reduced. The matrices must be on the node/link spaces of `mesh`.
+    ///
+    /// # Errors
+    ///
+    /// [`AssembleBemError::EmptyMesh`] for an empty mesh,
+    /// [`AssembleBemError::InvalidInput`] when a matrix dimension does not
+    /// match the mesh, and [`AssembleBemError::NumericalBreakdown`] when
+    /// `P` cannot be inverted.
+    pub fn from_raw(
+        mesh: PlaneMesh,
+        pair: &PlanePair,
+        zs: &SurfaceImpedance,
+        raw: RawMatrices,
+    ) -> Result<Self, AssembleBemError> {
         let n = mesh.cell_count();
         let m = mesh.link_count();
+        if n == 0 {
+            return Err(AssembleBemError::EmptyMesh);
+        }
+        let RawMatrices { p_coef, l, r_link } = raw;
+        if p_coef.nrows() != n || p_coef.ncols() != n {
+            return Err(AssembleBemError::InvalidInput(format!(
+                "P is {}x{}, mesh has {n} cells",
+                p_coef.nrows(),
+                p_coef.ncols()
+            )));
+        }
+        if l.nrows() != m || l.ncols() != m || r_link.len() != m {
+            return Err(AssembleBemError::InvalidInput(format!(
+                "L is {}x{} with {} resistances, mesh has {m} links",
+                l.nrows(),
+                l.ncols(),
+                r_link.len()
+            )));
+        }
+        let c = pdn_num::lu::invert(p_coef.clone())
+            .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
         let mut incidence = Matrix::zeros(m, n);
         for (link, cell, sign) in mesh.incidence() {
             incidence[(link, cell)] = sign;

@@ -1,0 +1,158 @@
+//! Sharded vs monolithic board extraction.
+//!
+//! Times the mesh → BEM → macromodel flow on an SSN-study-scale plane
+//! (10 × 7 in at 0.25 in cells, 1120 cells) monolithically and with 2-
+//! and 4-region shard plans. The regional solves shrink the O(N³)
+//! factorizations by the region count squared, so the acceptance bar is
+//! ≥ 2× wall-clock for the 4-region plan. Before timing anything the
+//! harness checks that the sharded model is bit-identical for
+//! `PDN_THREADS` ∈ {1, 2, all} and reports its port-impedance deviation
+//! from the monolithic reference (the `docs/SHARDING.md` contract). A
+//! machine-readable summary — timings, speedups, deviation, and the
+//! peak-dense-storage estimates — is written to `BENCH_shard.json` in
+//! the crate directory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdn_core::prelude::*;
+use pdn_shard::max_port_impedance_deviation;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn board_plane() -> PlaneSpec {
+    PlaneSpec::rectangle(inch(10.0), inch(7.0), mil(30.0), 4.5)
+        .expect("valid pair")
+        .with_sheet_resistance(0.6e-3)
+        .with_cell_size(inch(0.25))
+        .with_port("VRM", inch(0.5), inch(0.5))
+        .with_port("U1", inch(5.0), inch(3.5))
+}
+
+/// Single timed run: extraction at this scale takes seconds, long enough
+/// that one wall-clock measurement is a stable figure.
+fn timed<T>(run: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = black_box(run());
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+fn assert_bit_identical(a: &[Matrix<c64>], b: &[Matrix<c64>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: sweep length");
+    for (k, (ma, mb)) in a.iter().zip(b).enumerate() {
+        for i in 0..ma.nrows() {
+            for j in 0..ma.ncols() {
+                let (x, y) = (ma[(i, j)], mb[(i, j)]);
+                assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "{what}: point {k} entry ({i},{j}) differs: {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+}
+
+fn shard_extract_bench(c: &mut Criterion) {
+    let spec = board_plane();
+    let sel = NodeSelection::PortsAndGrid { stride: 4 };
+    // 12.5–100 MHz: below the 10-inch plane's first resonance (~280 MHz),
+    // the band where the deviation contract is tightest.
+    let freqs: Vec<f64> = (1..=8).map(|k| k as f64 * 12.5e6).collect();
+    let avail = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // Determinism gate: the regional fan-out merges by region index, so
+    // the composed model must be bit-identical for any worker count.
+    let plan4 = ShardPlan::grid(2, 2).expect("valid plan");
+    let mut per_thread = Vec::new();
+    let mut counts = vec![1, 2, avail];
+    counts.sort_unstable();
+    counts.dedup();
+    for &n in &counts {
+        std::env::set_var("PDN_THREADS", n.to_string());
+        let sharded = spec.extract_sharded(&plan4, &sel).expect("extractable");
+        per_thread.push(
+            sharded
+                .equivalent()
+                .impedance_sweep(&freqs)
+                .expect("solvable"),
+        );
+    }
+    std::env::remove_var("PDN_THREADS");
+    for w in per_thread.windows(2) {
+        assert_bit_identical(&w[0], &w[1], "sharded extraction across PDN_THREADS");
+    }
+
+    println!("--- sharded extraction: 10x7 in plane, 1120 cells (target >= 2x @ 4 regions) ---");
+    let (t_mono, mono) = timed(|| spec.extract(&sel).expect("extractable"));
+    let n = 1120.0f64;
+    let m = 2132.0f64; // interior links of the 40x28 grid
+    let mono_bytes = (8.0 * (3.0 * n * n + m * m + m * n)) as usize;
+    println!(
+        "  monolithic: {:8.1} ms   peak dense ~{:6.1} MB",
+        t_mono * 1e3,
+        mono_bytes as f64 / 1e6
+    );
+
+    let mut json = String::from("[\n");
+    writeln!(
+        json,
+        "  {{\"regions\": 1, \"seconds\": {t_mono:.6}, \"speedup\": 1.0, \
+         \"dense_bytes\": {mono_bytes}, \"max_port_impedance_deviation\": 0.0}},"
+    )
+    .unwrap();
+    for (pi, (nx, ny)) in [(2usize, 1usize), (2, 2)].iter().enumerate() {
+        let plan = ShardPlan::grid(*nx, *ny).expect("valid plan");
+        let regions = nx * ny;
+        let (t_shard, sharded) = timed(|| spec.extract_sharded(&plan, &sel).expect("extractable"));
+        let dev =
+            max_port_impedance_deviation(sharded.equivalent(), mono.equivalent(), &freqs).unwrap();
+        let peak_bytes = sharded
+            .report()
+            .regions
+            .iter()
+            .map(|r| r.dense_bytes)
+            .max()
+            .unwrap_or(0);
+        let speedup = t_mono / t_shard;
+        println!(
+            "  {regions} regions : {:8.1} ms   speedup {speedup:4.2}x   \
+             peak regional dense ~{:6.1} MB   deviation {dev:.2e}",
+            t_shard * 1e3,
+            peak_bytes as f64 / 1e6
+        );
+        writeln!(
+            json,
+            "  {{\"regions\": {regions}, \"seconds\": {t_shard:.6}, \"speedup\": {speedup:.3}, \
+             \"dense_bytes\": {peak_bytes}, \"max_port_impedance_deviation\": {dev:.3e}}}{}",
+            if pi == 0 { "," } else { "" }
+        )
+        .unwrap();
+        if regions == 4 {
+            assert!(
+                speedup >= 2.0,
+                "4-region extraction speedup {speedup:.2}x below the 2x acceptance bar"
+            );
+        }
+        // Low-band deviation must stay within the documented contract.
+        assert!(dev < 0.05, "{regions}-region deviation {dev:.3e}");
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_shard.json", json).expect("writable BENCH_shard.json");
+
+    // Criterion timings: monolithic vs the 4-region acceptance plan.
+    let mut g = c.benchmark_group("shard_extract");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("extract", "monolithic"), &(), |b, ()| {
+        b.iter(|| black_box(&spec).extract(&sel).expect("extractable"));
+    });
+    g.bench_with_input(BenchmarkId::new("extract", "4_regions"), &(), |b, ()| {
+        b.iter(|| {
+            black_box(&spec)
+                .extract_sharded(&plan4, &sel)
+                .expect("extractable")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, shard_extract_bench);
+criterion_main!(benches);

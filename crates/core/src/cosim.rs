@@ -39,10 +39,28 @@ use pdn_circuit::{
     Circuit, CoupledLineModel, NodeId, SimulateCircuitError, TransientPlan, TransientSpec, Waveform,
 };
 use pdn_extract::NodeSelection;
-use pdn_geom::Point;
+use pdn_geom::{PlaneMesh, Point};
 use pdn_num::Matrix;
+use pdn_shard::{ShardPlan, ShardReport, ShardedExtraction};
 use std::error::Error;
 use std::fmt;
+
+/// How [`BoardSpec::extract_model`] turns the plane into a macromodel.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ExtractionStrategy {
+    /// One dense BEM system for the whole plane (the default).
+    #[default]
+    Monolithic,
+    /// Domain-decomposed extraction: split the plane along the plan's cut
+    /// lines, extract each region independently in parallel, and compose
+    /// through interface ports (see [`pdn_shard`] and `docs/SHARDING.md`
+    /// for the accuracy contract). Scenario batching, decap optimization,
+    /// and rational sweeps run unchanged on the composed model.
+    Sharded {
+        /// Where to cut the board.
+        plan: ShardPlan,
+    },
+}
 
 /// A signal net driven by one of a chip's drivers: a single transmission
 /// line to a far-end load.
@@ -191,6 +209,8 @@ pub struct BoardSpec {
     /// `decaps` implicitly declares its own site (the historical
     /// behavior).
     pub decap_sites: Vec<Point>,
+    /// Extraction strategy for the plane macromodel.
+    pub extraction: ExtractionStrategy,
 }
 
 impl BoardSpec {
@@ -205,7 +225,16 @@ impl BoardSpec {
             chips: Vec::new(),
             decaps: Vec::new(),
             decap_sites: Vec::new(),
+            extraction: ExtractionStrategy::Monolithic,
         }
+    }
+
+    /// Sets the plane extraction strategy (builder style). Pass
+    /// [`ExtractionStrategy::Sharded`] to opt a large board into
+    /// domain-decomposed extraction.
+    pub fn with_extraction_strategy(mut self, strategy: ExtractionStrategy) -> Self {
+        self.extraction = strategy;
+        self
     }
 
     /// Adds a chip (builder style).
@@ -245,33 +274,92 @@ impl BoardSpec {
     /// result can be shared across every scenario wired from boards that
     /// keep the same plane, supply point, chip locations, and site plan.
     ///
+    /// The board's [`ExtractionStrategy`] picks the flow: one dense BEM
+    /// system, or the sharded region-by-region composition.
+    ///
     /// # Errors
     ///
-    /// Returns [`BuildBoardError::Extraction`] when the flow fails.
+    /// Returns [`BuildBoardError::InvalidInput`] when a port or decap
+    /// site lies outside the plane outline or two supply/chip ports land
+    /// on the same mesh cell, and [`BuildBoardError::Extraction`] when
+    /// the extraction flow itself fails.
     pub fn extract_model(
         &self,
         selection: &NodeSelection,
     ) -> Result<ExtractedModel, BuildBoardError> {
         let sites = self.site_plan();
-        let mut plane = self.plane.clone();
-        plane = plane.with_port("VRM", self.supply_location.x, self.supply_location.y);
+        let mut ports: Vec<(String, Point)> = vec![("VRM".to_string(), self.supply_location)];
         for chip in &self.chips {
-            plane = plane.with_port(
-                format!("{}_vcc", chip.name),
-                chip.location.x,
-                chip.location.y,
-            );
+            ports.push((format!("{}_vcc", chip.name), chip.location));
         }
-        for (k, site) in sites.iter().enumerate() {
-            plane = plane.with_port(format!("decap{k}"), site.x, site.y);
+        let site_ports: Vec<(String, Point)> = sites
+            .iter()
+            .enumerate()
+            .map(|(k, site)| (format!("decap{k}"), *site))
+            .collect();
+        self.validate_port_layout(&ports, &site_ports)?;
+        let mut plane = self.plane.clone();
+        for (name, p) in ports.iter().chain(&site_ports) {
+            plane = plane.with_port(name.clone(), p.x, p.y);
         }
-        let plane = plane.extract(selection)?;
+        let model = match &self.extraction {
+            ExtractionStrategy::Monolithic => {
+                PlaneModel::Monolithic(Box::new(plane.extract(selection)?))
+            }
+            ExtractionStrategy::Sharded { plan } => {
+                PlaneModel::Sharded(Box::new(plane.extract_sharded(plan, selection)?))
+            }
+        };
         Ok(ExtractedModel {
-            plane,
+            plane: model,
             supply_location: self.supply_location,
             chip_locations: self.chips.iter().map(|c| c.location).collect(),
             sites,
         })
+    }
+
+    /// Checks the board's port layout against the plane outline before
+    /// the expensive extraction. Every named location (supply, chip power
+    /// pins, decap sites, plus any port already on the plane spec) must
+    /// land on a mesh cell. Supply/chip/plane ports must additionally not
+    /// share a cell — overlapping footprints would silently short two
+    /// distinct injection points into one node. Decap sites are exempt
+    /// from the overlap check: a capacitor mounted right at a supply pin
+    /// (or two capacitors on one pad) is a legitimate layout, and the
+    /// site simply connects at that port's node.
+    fn validate_port_layout(
+        &self,
+        ports: &[(String, Point)],
+        sites: &[(String, Point)],
+    ) -> Result<(), BuildBoardError> {
+        let mesh = PlaneMesh::build_multi(self.plane.shapes(), self.plane.cell_size())
+            .map_err(|e| BuildBoardError::Extraction(ExtractPlaneError::Mesh(e)))?;
+        let snap = |name: &str, p: &Point| {
+            mesh.cell_at(*p).ok_or_else(|| {
+                BuildBoardError::InvalidInput(format!(
+                    "port '{name}' at ({:.4e}, {:.4e}) lies outside the plane outline",
+                    p.x, p.y
+                ))
+            })
+        };
+        let mut taken: Vec<(usize, &str)> = Vec::new();
+        for (name, p) in self.plane.ports().iter().chain(ports) {
+            let cell = snap(name, p)?;
+            if let Some((_, first)) = taken.iter().find(|(c, _)| *c == cell) {
+                return Err(BuildBoardError::InvalidInput(format!(
+                    "ports '{first}' and '{name}' overlap: both snap to the mesh cell \
+                     at ({:.4e}, {:.4e}) (cell size {:.4e})",
+                    mesh.cell_center(cell).x,
+                    mesh.cell_center(cell).y,
+                    self.plane.cell_size()
+                )));
+            }
+            taken.push((cell, name.as_str()));
+        }
+        for (name, p) in sites {
+            snap(name, p)?;
+        }
+        Ok(())
     }
 
     /// Extracts the plane macromodel and wires the full system netlist.
@@ -446,6 +534,10 @@ impl BoardSpec {
 /// Error from building a board system.
 #[derive(Debug)]
 pub enum BuildBoardError {
+    /// The board geometry is inconsistent before extraction even starts:
+    /// a port or decap site off the plane outline, or two port footprints
+    /// on the same mesh cell.
+    InvalidInput(String),
     /// Plane extraction failed.
     Extraction(ExtractPlaneError),
     /// Netlist wiring failed (bad line parameters…).
@@ -455,6 +547,7 @@ pub enum BuildBoardError {
 impl fmt::Display for BuildBoardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            BuildBoardError::InvalidInput(s) => write!(f, "invalid board: {s}"),
             BuildBoardError::Extraction(e) => write!(f, "extraction: {e}"),
             BuildBoardError::Wiring(s) => write!(f, "wiring: {s}"),
         }
@@ -479,21 +572,46 @@ impl From<ExtractPlaneError> for BuildBoardError {
 /// silently stamping decaps onto the wrong plane ports.
 #[derive(Debug, Clone)]
 pub struct ExtractedModel {
-    plane: ExtractedPlane,
+    plane: PlaneModel,
     supply_location: Point,
     chip_locations: Vec<Point>,
     sites: Vec<Point>,
 }
 
+/// The plane macromodel behind an [`ExtractedModel`] — monolithic (with
+/// its BEM reference system) or sharded (composed from regions).
+#[derive(Debug, Clone)]
+enum PlaneModel {
+    Monolithic(Box<ExtractedPlane>),
+    Sharded(Box<ShardedExtraction>),
+}
+
 impl ExtractedModel {
-    /// The underlying extraction (BEM reference + equivalent circuit).
-    pub fn plane(&self) -> &ExtractedPlane {
-        &self.plane
+    /// The underlying monolithic extraction (BEM reference + equivalent
+    /// circuit), or `None` for a sharded extraction — sharding never
+    /// assembles a whole-board BEM system, that being its point.
+    pub fn plane(&self) -> Option<&ExtractedPlane> {
+        match &self.plane {
+            PlaneModel::Monolithic(p) => Some(p),
+            PlaneModel::Sharded(_) => None,
+        }
+    }
+
+    /// Per-region statistics of a sharded extraction, or `None` for a
+    /// monolithic one.
+    pub fn shard_report(&self) -> Option<&ShardReport> {
+        match &self.plane {
+            PlaneModel::Monolithic(_) => None,
+            PlaneModel::Sharded(s) => Some(s.report()),
+        }
     }
 
     /// The extracted R–L‖C macromodel.
     pub fn equivalent(&self) -> &pdn_extract::EquivalentCircuit {
-        self.plane.equivalent()
+        match &self.plane {
+            PlaneModel::Monolithic(p) => p.equivalent(),
+            PlaneModel::Sharded(s) => s.equivalent(),
+        }
     }
 
     /// The decap mounting sites ported in the extraction, in site-index
@@ -824,6 +942,90 @@ mod tests {
             n_dec.plane_noise_peak,
             n_base.plane_noise_peak
         );
+    }
+
+    #[test]
+    fn off_plane_decap_site_rejected_before_extraction() {
+        let board = small_board().with_decap_site(Point::new(mm(100.0), mm(100.0)));
+        match board.extract_model(&NodeSelection::PortsOnly) {
+            Err(BuildBoardError::InvalidInput(msg)) => {
+                assert!(msg.contains("decap0"), "{msg}");
+                assert!(msg.contains("outside"), "{msg}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlapping_port_footprints_rejected() {
+        // 5 mm cells: (28, 18) mm and the U1 chip at (30, 20) mm both
+        // snap to the cell centered at (27.5, 17.5) mm.
+        let board =
+            small_board().with_chip(ChipSpec::cmos("U2", Point::new(mm(28.0), mm(18.0)), 1));
+        match board.extract_model(&NodeSelection::PortsOnly) {
+            Err(BuildBoardError::InvalidInput(msg)) => {
+                assert!(msg.contains("U1_vcc"), "{msg}");
+                assert!(msg.contains("U2_vcc"), "{msg}");
+                assert!(msg.contains("overlap"), "{msg}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decap_site_may_share_a_port_cell() {
+        // A capacitor mounted right at the chip pin is a legitimate
+        // layout: the site snaps onto U1's cell and connects at its node.
+        let board = small_board().with_decap_site(Point::new(mm(28.0), mm(20.0)));
+        let model = board.extract_model(&NodeSelection::PortsOnly).unwrap();
+        assert_eq!(model.equivalent().port_count(), 3);
+    }
+
+    #[test]
+    fn sharded_strategy_builds_and_tracks_monolithic() {
+        use pdn_shard::max_port_impedance_deviation;
+        // Like `small_board`, but meshed at 2.5 mm: sharding accuracy
+        // depends on the seam strip being a small fraction of the plane,
+        // which an 8x6-cell mesh cannot provide.
+        let fine_board = || {
+            let plane = PlaneSpec::rectangle(mm(40.0), mm(30.0), 0.5e-3, 4.5)
+                .unwrap()
+                .with_sheet_resistance(1e-3)
+                .with_cell_size(mm(2.5));
+            BoardSpec::new(plane, 3.3, Point::new(mm(2.0), mm(2.0))).with_chip(ChipSpec::cmos(
+                "U1",
+                Point::new(mm(30.0), mm(20.0)),
+                4,
+            ))
+        };
+        let sel = NodeSelection::PortsAndGrid { stride: 3 };
+        let mono = fine_board().extract_model(&sel).unwrap();
+        let board = fine_board().with_extraction_strategy(ExtractionStrategy::Sharded {
+            plan: ShardPlan::grid(2, 1).unwrap(),
+        });
+        let sharded = board.extract_model(&sel).unwrap();
+        // The model kinds expose the right introspection...
+        assert!(mono.plane().is_some() && mono.shard_report().is_none());
+        assert!(sharded.plane().is_none());
+        assert_eq!(sharded.shard_report().unwrap().regions.len(), 2);
+        // ...the port layouts agree...
+        assert_eq!(
+            mono.equivalent().port_count(),
+            sharded.equivalent().port_count()
+        );
+        // ...the models agree within the documented low-band tolerance
+        // (measured 3.4e-3 on this split)...
+        let freqs = [1e8, 3e8, 1e9];
+        let dev =
+            max_port_impedance_deviation(sharded.equivalent(), mono.equivalent(), &freqs).unwrap();
+        assert!(dev < 0.02, "deviation {dev:.3e}");
+        // ...and the downstream wiring consumes the sharded model as-is.
+        let out = board
+            .wire(&sharded, 2)
+            .unwrap()
+            .run(10e-9, 0.05e-9)
+            .unwrap();
+        assert!(out.time.len() > 50);
     }
 
     #[test]

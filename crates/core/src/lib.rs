@@ -48,7 +48,8 @@ pub mod scenario;
 pub mod verify;
 
 pub use cosim::{
-    BoardSpec, BoardSystem, BuildBoardError, ChipSpec, DecapSpec, ExtractedModel, SsnOutcome,
+    BoardSpec, BoardSystem, BuildBoardError, ChipSpec, DecapSpec, ExtractedModel,
+    ExtractionStrategy, SsnOutcome,
 };
 pub use flow::{ExtractPlaneError, ExtractedPlane, PlaneSpec};
 pub use optimize::{optimize_decaps, DecapPlan, OptimizeSettings};
@@ -58,7 +59,8 @@ pub use scenario::{DecapValue, Scenario, ScenarioBatch, ScenarioBatchError};
 pub mod prelude {
     pub use crate::boards;
     pub use crate::cosim::{
-        BoardSpec, BoardSystem, BuildBoardError, ChipSpec, DecapSpec, ExtractedModel, SsnOutcome,
+        BoardSpec, BoardSystem, BuildBoardError, ChipSpec, DecapSpec, ExtractedModel,
+        ExtractionStrategy, SsnOutcome,
     };
     pub use crate::flow::{ExtractPlaneError, ExtractedPlane, PlaneSpec};
     pub use crate::optimize::{optimize_decaps, DecapPlan, OptimizeSettings};
@@ -74,5 +76,6 @@ pub mod prelude {
     pub use pdn_geom::{PlaneMesh, PlanePair, Point, Polygon, Stackup};
     pub use pdn_greens::{LayeredKernel, SurfaceImpedance};
     pub use pdn_num::{c64, Matrix, SweepAccuracy, SweepStats};
+    pub use pdn_shard::{ShardPlan, ShardReport};
     pub use pdn_tline::{simulate_coupled_pair, MicrostripArray};
 }

@@ -479,14 +479,17 @@ mod tests {
 
     #[test]
     fn extraction_failure_surfaces_from_new() {
-        // Supply port far off the conductor: meshing/port binding fails
-        // during the one-time extraction, before any scenario exists.
+        // Supply port far off the conductor: the board-level layout
+        // validation rejects it during the one-time extraction, before
+        // any scenario exists.
         let mut board = base_board();
         board.supply_location = Point::new(mm(500.0), mm(500.0));
         let err = ScenarioBatch::new(&board, &sel()).unwrap_err();
         match err {
-            ScenarioBatchError::Extraction(BuildBoardError::Extraction(_)) => {}
-            other => panic!("expected Extraction error, got {other}"),
+            ScenarioBatchError::Extraction(BuildBoardError::InvalidInput(msg)) => {
+                assert!(msg.contains("outside"), "{msg}");
+            }
+            other => panic!("expected InvalidInput error, got {other}"),
         }
     }
 

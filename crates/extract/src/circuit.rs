@@ -140,6 +140,21 @@ impl EquivalentCircuit {
         sys: &BemSystem,
         selection: &NodeSelection,
     ) -> Result<Self, ExtractCircuitError> {
+        Ok(Self::from_bem_detailed(sys, selection)?.0)
+    }
+
+    /// [`from_bem`](Self::from_bem) additionally returning the mesh cell
+    /// index behind each retained node (ascending, one per node). Sharded
+    /// extraction uses this to map regional nodes back onto the global
+    /// board grid when composing regions.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`from_bem`](Self::from_bem).
+    pub fn from_bem_detailed(
+        sys: &BemSystem,
+        selection: &NodeSelection,
+    ) -> Result<(Self, Vec<usize>), ExtractCircuitError> {
         let mesh = sys.mesh();
         let port_cells = mesh.port_cells();
         if port_cells.is_empty() {
@@ -264,13 +279,70 @@ impl EquivalentCircuit {
             }
         }
         let ports = port_cells.iter().map(|&c| pos_of(c)).collect();
+        Ok((
+            EquivalentCircuit {
+                names,
+                ports,
+                b,
+                g,
+                c,
+                tan_d: sys.pair().loss_tangent,
+            },
+            keep,
+        ))
+    }
+
+    /// Builds a macromodel directly from its `B`/`G`/`C` matrices — the
+    /// composition hook behind sharded extraction, where the matrices come
+    /// from block-summed regional models rather than one BEM assembly.
+    ///
+    /// `ports[p]` is the retained-node index of port `p`; `names` labels
+    /// every node (port names where applicable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractCircuitError::NoPorts`] when `ports` is empty and
+    /// [`ExtractCircuitError::InvalidInput`] for mismatched dimensions,
+    /// non-square matrices, an out-of-range port node, or a negative /
+    /// non-finite loss tangent.
+    pub fn from_parts(
+        names: Vec<String>,
+        ports: Vec<usize>,
+        b: Matrix<f64>,
+        g: Matrix<f64>,
+        c: Matrix<f64>,
+        tan_d: f64,
+    ) -> Result<Self, ExtractCircuitError> {
+        let n = names.len();
+        if ports.is_empty() {
+            return Err(ExtractCircuitError::NoPorts);
+        }
+        for (label, m) in [("B", &b), ("G", &g), ("C", &c)] {
+            if m.nrows() != n || m.ncols() != n {
+                return Err(ExtractCircuitError::InvalidInput(format!(
+                    "{label} is {}x{} but there are {n} node names",
+                    m.nrows(),
+                    m.ncols()
+                )));
+            }
+        }
+        if let Some(&bad) = ports.iter().find(|&&p| p >= n) {
+            return Err(ExtractCircuitError::InvalidInput(format!(
+                "port node index {bad} out of range for {n} nodes"
+            )));
+        }
+        if !tan_d.is_finite() || tan_d < 0.0 {
+            return Err(ExtractCircuitError::InvalidInput(format!(
+                "loss tangent must be finite and non-negative, got {tan_d}"
+            )));
+        }
         Ok(EquivalentCircuit {
             names,
             ports,
             b,
             g,
             c,
-            tan_d: sys.pair().loss_tangent,
+            tan_d,
         })
     }
 
@@ -924,6 +996,93 @@ mod tests {
             EquivalentCircuit::from_bem(&sys, &NodeSelection::All).unwrap_err(),
             ExtractCircuitError::NoPorts
         );
+    }
+
+    #[test]
+    fn detailed_extraction_reports_kept_cells() {
+        let sys = bem(true, &[(mm(2.0), mm(2.0)), (mm(17.0), mm(17.0))]);
+        let (eq, keep) =
+            EquivalentCircuit::from_bem_detailed(&sys, &NodeSelection::PortsAndGrid { stride: 2 })
+                .unwrap();
+        assert_eq!(keep.len(), eq.node_count());
+        assert!(keep.windows(2).all(|w| w[0] < w[1]));
+        // Every port node maps back to the port's bound mesh cell.
+        for (p, &cell) in sys.mesh().port_cells().iter().enumerate() {
+            assert_eq!(keep[eq.port_node(p)], cell);
+        }
+        // Non-port nodes carry the n{cell} naming convention.
+        for (k, &cell) in keep.iter().enumerate() {
+            if !(0..eq.port_count()).any(|p| eq.port_node(p) == k) {
+                assert_eq!(eq.node_names()[k], format!("n{cell}"));
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let sys = bem(true, &[(mm(2.0), mm(2.0)), (mm(17.0), mm(17.0))]);
+        let eq =
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
+        let rebuilt = EquivalentCircuit::from_parts(
+            eq.node_names().to_vec(),
+            (0..eq.port_count()).map(|p| eq.port_node(p)).collect(),
+            eq.reluctance().clone(),
+            eq.conductance().clone(),
+            eq.capacitance().clone(),
+            eq.dielectric_loss_tangent(),
+        )
+        .unwrap();
+        let (za, zb) = (eq.impedance(1e9).unwrap(), rebuilt.impedance(1e9).unwrap());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(za[(i, j)], zb[(i, j)]);
+            }
+        }
+        // Validation paths.
+        let two = Matrix::zeros(2, 2);
+        let three = Matrix::zeros(3, 3);
+        let names = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(
+            EquivalentCircuit::from_parts(
+                names.clone(),
+                vec![],
+                two.clone(),
+                two.clone(),
+                two.clone(),
+                0.0
+            )
+            .unwrap_err(),
+            ExtractCircuitError::NoPorts
+        );
+        assert!(matches!(
+            EquivalentCircuit::from_parts(
+                names.clone(),
+                vec![0],
+                three,
+                two.clone(),
+                two.clone(),
+                0.0
+            )
+            .unwrap_err(),
+            ExtractCircuitError::InvalidInput(_)
+        ));
+        assert!(matches!(
+            EquivalentCircuit::from_parts(
+                names.clone(),
+                vec![5],
+                two.clone(),
+                two.clone(),
+                two.clone(),
+                0.0
+            )
+            .unwrap_err(),
+            ExtractCircuitError::InvalidInput(_)
+        ));
+        assert!(matches!(
+            EquivalentCircuit::from_parts(names, vec![0], two.clone(), two.clone(), two, -0.1)
+                .unwrap_err(),
+            ExtractCircuitError::InvalidInput(_)
+        ));
     }
 
     #[test]

@@ -401,6 +401,75 @@ impl PlaneMesh {
     pub fn net_count(&self) -> usize {
         self.nets.iter().copied().max().map_or(0, |m| m + 1)
     }
+
+    /// Restricts the mesh to a subset of its cells — the geometry hook
+    /// behind domain-decomposed (sharded) extraction.
+    ///
+    /// The sub-mesh keeps this mesh's grid raster (origin, `dx`, `dy`,
+    /// bounding-box extent), cell centers, and net tags, so panel
+    /// integrals over sub-mesh cells are bit-identical to the same
+    /// integrals on the parent mesh. Only links with **both** endpoints in
+    /// `cells` survive; links cut by the restriction must be re-stitched
+    /// by the caller (that is the sharding interface). No ports are
+    /// carried over — the caller re-binds the ports that fall inside the
+    /// region plus the synthesized interface ports.
+    ///
+    /// `cells` must be strictly increasing and in range; sub-mesh cell `k`
+    /// is parent cell `cells[k]` (renumbering preserves raster order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshPlaneError::EmptyMesh`] when `cells` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is not strictly increasing or contains an
+    /// out-of-range index.
+    pub fn submesh(&self, cells: &[usize]) -> Result<PlaneMesh, MeshPlaneError> {
+        if cells.is_empty() {
+            return Err(MeshPlaneError::EmptyMesh);
+        }
+        for w in cells.windows(2) {
+            assert!(w[0] < w[1], "submesh cells must be strictly increasing");
+        }
+        assert!(
+            *cells.last().expect("non-empty") < self.cell_count(),
+            "submesh cell index out of range"
+        );
+        let mut new_of_old = vec![usize::MAX; self.cell_count()];
+        for (new, &old) in cells.iter().enumerate() {
+            new_of_old[old] = new;
+        }
+        let mut grid = vec![None; self.nx * self.ny];
+        for &old in cells {
+            let (ix, iy) = self.coords[old];
+            grid[iy * self.nx + ix] = Some(new_of_old[old]);
+        }
+        let links = self
+            .links
+            .iter()
+            .filter(|l| new_of_old[l.a] != usize::MAX && new_of_old[l.b] != usize::MAX)
+            .map(|l| Link {
+                a: new_of_old[l.a],
+                b: new_of_old[l.b],
+                direction: l.direction,
+                center: l.center,
+            })
+            .collect();
+        Ok(PlaneMesh {
+            dx: self.dx,
+            dy: self.dy,
+            nx: self.nx,
+            ny: self.ny,
+            origin: self.origin,
+            grid,
+            centers: cells.iter().map(|&c| self.centers[c]).collect(),
+            coords: cells.iter().map(|&c| self.coords[c]).collect(),
+            nets: cells.iter().map(|&c| self.nets[c]).collect(),
+            links,
+            ports: Vec::new(),
+        })
+    }
 }
 
 impl fmt::Display for PlaneMesh {
@@ -431,6 +500,43 @@ mod tests {
         // Links: x: 4·3 = 12, y: 5·2 = 10.
         assert_eq!(m.link_count(), 22);
         assert_eq!(m.net_count(), 1);
+    }
+
+    #[test]
+    fn submesh_keeps_raster_and_internal_links() {
+        let m = PlaneMesh::build(&Polygon::rectangle(mm(10.0), mm(6.0)), mm(2.0)).unwrap();
+        // Keep the left 3×3 block of the 5×3 grid.
+        let cells: Vec<usize> = (0..m.cell_count())
+            .filter(|&c| m.cell_grid_coords(c).0 < 3)
+            .collect();
+        let s = m.submesh(&cells).unwrap();
+        assert_eq!(s.cell_count(), 9);
+        assert_eq!(s.grid_shape(), m.grid_shape());
+        assert!((s.dx() - m.dx()).abs() < 1e-15 && (s.dy() - m.dy()).abs() < 1e-15);
+        // x-links: 2·3, y-links: 3·2 within the kept block.
+        assert_eq!(s.link_count(), 12);
+        for (k, &c) in cells.iter().enumerate() {
+            assert_eq!(s.cell_center(k), m.cell_center(c));
+            assert_eq!(s.cell_net(k), m.cell_net(c));
+            assert_eq!(s.cell_grid_coords(k), m.cell_grid_coords(c));
+        }
+        // Kept links carry the parent geometry, renumbered endpoints.
+        for l in s.links() {
+            let (pa, pb) = (cells[l.a], cells[l.b]);
+            assert!(m
+                .links()
+                .iter()
+                .any(|pl| pl.a == pa && pl.b == pb && pl.center == l.center));
+        }
+        // Cells snap back to the same raster positions.
+        assert_eq!(s.cell_at(m.cell_center(cells[4])), Some(4));
+        assert_eq!(s.cell_at(m.cell_center(m.cell_count() - 1)), None);
+    }
+
+    #[test]
+    fn submesh_empty_selection_fails() {
+        let m = PlaneMesh::build(&Polygon::rectangle(mm(10.0), mm(6.0)), mm(2.0)).unwrap();
+        assert_eq!(m.submesh(&[]).unwrap_err(), MeshPlaneError::EmptyMesh);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Partition plans: where to cut the board into regions.
+
+use crate::error::ShardExtractError;
+use pdn_geom::Point;
+
+/// A rectangular partition of the board into extraction regions.
+///
+/// Regions are the tiles of a grid formed by vertical cut lines (at the
+/// `x` positions) and horizontal cut lines (at the `y` positions). Cells
+/// are assigned to regions by cell-center position, so arbitrary cut
+/// positions are safe — a cut through the middle of a cell row simply
+/// lands the row on one deterministic side.
+///
+/// Build one with explicit positions ([`ShardPlan::with_cuts`]) or as an
+/// even grid resolved against the board's bounding box at extraction time
+/// ([`ShardPlan::grid`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    x_cuts: Vec<f64>,
+    y_cuts: Vec<f64>,
+    grid: Option<(usize, usize)>,
+}
+
+impl ShardPlan {
+    /// A plan with explicit cut positions (meters, board coordinates).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardExtractError::InvalidPlan`] when a position is non-finite or
+    /// a list is not strictly increasing. Positions outside the board
+    /// outline are rejected at extraction time, when the outline is known.
+    pub fn with_cuts(x_cuts: Vec<f64>, y_cuts: Vec<f64>) -> Result<Self, ShardExtractError> {
+        for (axis, cuts) in [("x", &x_cuts), ("y", &y_cuts)] {
+            if let Some(&bad) = cuts.iter().find(|c| !c.is_finite()) {
+                return Err(ShardExtractError::InvalidPlan(format!(
+                    "{axis} cut position {bad} is not finite"
+                )));
+            }
+            if cuts.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(ShardExtractError::InvalidPlan(format!(
+                    "{axis} cut positions must be strictly increasing, got {cuts:?}"
+                )));
+            }
+        }
+        Ok(ShardPlan {
+            x_cuts,
+            y_cuts,
+            grid: None,
+        })
+    }
+
+    /// An even `nx × ny` region grid; cut positions are computed from the
+    /// board's bounding box when the plan is resolved.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardExtractError::InvalidPlan`] when either count is zero.
+    pub fn grid(nx: usize, ny: usize) -> Result<Self, ShardExtractError> {
+        if nx == 0 || ny == 0 {
+            return Err(ShardExtractError::InvalidPlan(format!(
+                "region grid must be at least 1x1, got {nx}x{ny}"
+            )));
+        }
+        Ok(ShardPlan {
+            x_cuts: Vec::new(),
+            y_cuts: Vec::new(),
+            grid: Some((nx, ny)),
+        })
+    }
+
+    /// Number of region tiles the plan produces (some may be empty of
+    /// cells for non-rectangular outlines). Unknown extents never change
+    /// the count, so this is exact for both plan kinds.
+    pub fn region_count(&self) -> usize {
+        match self.grid {
+            Some((nx, ny)) => nx * ny,
+            None => (self.x_cuts.len() + 1) * (self.y_cuts.len() + 1),
+        }
+    }
+
+    /// Resolves the plan against the board bounding box, returning the
+    /// concrete `(x_cuts, y_cuts)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardExtractError::InvalidPlan`] when an explicit cut lies on or
+    /// outside the bounding box (it would produce an empty strip).
+    pub fn resolve(
+        &self,
+        min: Point,
+        max: Point,
+    ) -> Result<(Vec<f64>, Vec<f64>), ShardExtractError> {
+        match self.grid {
+            Some((nx, ny)) => {
+                let xs = (1..nx)
+                    .map(|k| min.x + (max.x - min.x) * k as f64 / nx as f64)
+                    .collect();
+                let ys = (1..ny)
+                    .map(|k| min.y + (max.y - min.y) * k as f64 / ny as f64)
+                    .collect();
+                Ok((xs, ys))
+            }
+            None => {
+                for (axis, cuts, lo, hi) in [
+                    ("x", &self.x_cuts, min.x, max.x),
+                    ("y", &self.y_cuts, min.y, max.y),
+                ] {
+                    if let Some(&bad) = cuts.iter().find(|&&c| c <= lo || c >= hi) {
+                        return Err(ShardExtractError::InvalidPlan(format!(
+                            "{axis} cut at {bad} lies outside the board extent \
+                             [{lo}, {hi}]"
+                        )));
+                    }
+                }
+                Ok((self.x_cuts.clone(), self.y_cuts.clone()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cuts_validated() {
+        assert!(ShardPlan::with_cuts(vec![0.01, 0.02], vec![]).is_ok());
+        assert!(matches!(
+            ShardPlan::with_cuts(vec![0.02, 0.01], vec![]).unwrap_err(),
+            ShardExtractError::InvalidPlan(_)
+        ));
+        assert!(matches!(
+            ShardPlan::with_cuts(vec![f64::NAN], vec![]).unwrap_err(),
+            ShardExtractError::InvalidPlan(_)
+        ));
+        assert!(matches!(
+            ShardPlan::with_cuts(vec![], vec![0.01, 0.01]).unwrap_err(),
+            ShardExtractError::InvalidPlan(_)
+        ));
+    }
+
+    #[test]
+    fn grid_resolves_even_cuts() {
+        let plan = ShardPlan::grid(4, 2).unwrap();
+        assert_eq!(plan.region_count(), 8);
+        let (xs, ys) = plan
+            .resolve(Point::new(0.0, 0.0), Point::new(0.04, 0.02))
+            .unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(ys.len(), 1);
+        assert!((xs[0] - 0.01).abs() < 1e-15);
+        assert!((xs[2] - 0.03).abs() < 1e-15);
+        assert!((ys[0] - 0.01).abs() < 1e-15);
+        assert!(ShardPlan::grid(0, 2).is_err());
+    }
+
+    #[test]
+    fn out_of_extent_cut_rejected_at_resolve() {
+        let plan = ShardPlan::with_cuts(vec![0.05], vec![]).unwrap();
+        assert!(matches!(
+            plan.resolve(Point::new(0.0, 0.0), Point::new(0.04, 0.02))
+                .unwrap_err(),
+            ShardExtractError::InvalidPlan(_)
+        ));
+    }
+}

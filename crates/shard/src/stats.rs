@@ -1,0 +1,20 @@
+//! `PDN_EXTRACT_STATS=1` stderr diagnostics, mirroring the
+//! `PDN_SWEEP_STATS` convention of `pdn_num::rational`.
+
+/// Whether `PDN_EXTRACT_STATS=1` is set in the environment.
+pub fn extract_stats_enabled() -> bool {
+    std::env::var("PDN_EXTRACT_STATS").as_deref() == Ok("1")
+}
+
+/// Prints one extraction stats line to stderr when
+/// [`extract_stats_enabled`] — cells meshed, dense matrix dimensions
+/// (`P` is `cells²`, `L` is `links²`), ports, and wall time. `label`
+/// names the extraction (e.g. `plane`, `shard r3`).
+pub fn emit_extract_stats(label: &str, cells: usize, links: usize, ports: usize, millis: f64) {
+    if extract_stats_enabled() {
+        eprintln!(
+            "pdn extract[{label}]: {cells} cells, P {cells}x{cells}, \
+             L {links}x{links}, {ports} ports, {millis:.3} ms"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Sharded-vs-monolithic validation mode.
+
+use crate::error::ShardExtractError;
+use pdn_extract::EquivalentCircuit;
+
+/// Maximum relative port-impedance deviation between two macromodels over
+/// a frequency grid — the shard validation metric.
+///
+/// At each frequency the deviation is `max_ij |Za_ij − Zb_ij|` normalized
+/// by the largest entry magnitude of the **reference** matrix `Zb` at
+/// that frequency; the result is the maximum over the grid. Per-frequency
+/// matrix-scale normalization keeps the metric meaningful at transfer
+/// nulls, where an entry-wise relative error would divide by ≈ 0.
+///
+/// Both sweeps run on [`pdn_num::parallel`] workers and the result is
+/// bit-identical for any worker count.
+///
+/// # Errors
+///
+/// [`ShardExtractError::Validation`] when the port counts differ, the
+/// grid is empty/invalid, the reference response is identically zero at
+/// some frequency, or a solve fails.
+pub fn max_port_impedance_deviation(
+    a: &EquivalentCircuit,
+    b: &EquivalentCircuit,
+    freqs: &[f64],
+) -> Result<f64, ShardExtractError> {
+    if a.port_count() != b.port_count() {
+        return Err(ShardExtractError::Validation(format!(
+            "port counts differ: {} vs {}",
+            a.port_count(),
+            b.port_count()
+        )));
+    }
+    let sweep = |eq: &EquivalentCircuit, which: &str| {
+        eq.impedance_sweep(freqs)
+            .map_err(|e| ShardExtractError::Validation(format!("{which} model sweep: {e}")))
+    };
+    let za = sweep(a, "first")?;
+    let zb = sweep(b, "reference")?;
+    let np = a.port_count();
+    let mut worst = 0.0f64;
+    for (k, (ma, mb)) in za.iter().zip(&zb).enumerate() {
+        let scale = mb.max_abs();
+        if scale == 0.0 {
+            return Err(ShardExtractError::Validation(format!(
+                "reference impedance is identically zero at {} Hz",
+                freqs[k]
+            )));
+        }
+        for i in 0..np {
+            for j in 0..np {
+                worst = worst.max((ma[(i, j)] - mb[(i, j)]).norm() / scale);
+            }
+        }
+    }
+    Ok(worst)
+}

@@ -34,6 +34,7 @@
 //! | [`greens`] | layered Green's functions, panel integrals, skin effect |
 //! | [`bem`] | MPIE boundary-element assembly and direct solves |
 //! | [`extract`] | quasi-static macromodel extraction, SPICE export |
+//! | [`shard`] | domain-decomposed extraction: regions, stitch, Schur composition |
 //! | [`circuit`] | MNA transient/AC simulator, drivers, coupled lines |
 //! | [`tline`] | 2-D MoM line extraction, modal analysis, crosstalk |
 //! | [`fdtd`] | independent 2-D plane FDTD reference |
@@ -50,6 +51,7 @@ pub use pdn_fdtd as fdtd;
 pub use pdn_geom as geom;
 pub use pdn_greens as greens;
 pub use pdn_num as num;
+pub use pdn_shard as shard;
 pub use pdn_tline as tline;
 
 pub use pdn_core::prelude;

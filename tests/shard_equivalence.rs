@@ -1,0 +1,145 @@
+//! Sharded extraction vs. the monolithic flow.
+//!
+//! Three angles:
+//!
+//! * a golden check on the paper's Figure 6/7 HP test plane — the sharded
+//!   composition must track the monolithic macromodel within the
+//!   tolerance documented in `docs/SHARDING.md`;
+//! * property-based checks over random board shapes and cut positions —
+//!   composition must succeed and stay within the seam-error contract for
+//!   any reasonable partition;
+//! * bit-identity across `PDN_THREADS` — the regional fan-out must not
+//!   leak scheduling order into the composed model.
+
+use pdn::prelude::*;
+use pdn_num::c64;
+use pdn_shard::max_port_impedance_deviation;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `body` once per thread count in {1, 2, available_parallelism},
+/// restoring the prior `PDN_THREADS` afterwards (the harness runs tests
+/// concurrently in one process, so the env var is serialized).
+fn with_thread_counts(mut body: impl FnMut(usize)) {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let prior = std::env::var("PDN_THREADS").ok();
+    let avail = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut counts = vec![1usize, 2, avail];
+    counts.dedup();
+    for n in counts {
+        std::env::set_var("PDN_THREADS", n.to_string());
+        assert_eq!(pdn_num::parallel::worker_count(), n);
+        body(n);
+    }
+    match prior {
+        Some(v) => std::env::set_var("PDN_THREADS", v),
+        None => std::env::remove_var("PDN_THREADS"),
+    }
+}
+
+#[test]
+fn hp_test_plane_sharded_tracks_monolithic_golden() {
+    let spec = boards::hp_test_plane().unwrap();
+    let sel = NodeSelection::PortsAndGrid { stride: 3 };
+    // Below the plane's first resonance (~1.18 GHz): the band where the
+    // quasi-static macromodel itself is the paper's operating regime.
+    let freqs: Vec<f64> = (1..=9).map(|k| k as f64 * 100e6).collect();
+
+    let mono = spec.extract(&sel).unwrap();
+    for regions in [2usize, 4] {
+        let plan = ShardPlan::grid(regions, 1).unwrap();
+        let sharded = spec.extract_sharded(&plan, &sel).unwrap();
+        let report = sharded.report();
+        assert_eq!(report.regions.len(), regions);
+        assert_eq!(sharded.equivalent().port_count(), 5);
+        let dev =
+            max_port_impedance_deviation(sharded.equivalent(), mono.equivalent(), &freqs).unwrap();
+        // Documented contract (docs/SHARDING.md): a few percent up to
+        // ~0.75x the first resonance (900 MHz here vs. ~1.18 GHz).
+        // Measured: 5.2e-2 for the 2-way split, 5.1e-2 for the 4-way.
+        assert!(dev < 0.08, "{regions}-way split deviation {dev:.3e}");
+    }
+
+    // The built-in validation mode reports the same kind of number.
+    let dev = spec
+        .validate_sharding(&ShardPlan::grid(2, 1).unwrap(), &sel, &freqs)
+        .unwrap();
+    assert!(dev > 0.0 && dev < 0.08, "validate_sharding: {dev:.3e}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any reasonable single- or double-cut partition of a rectangular
+    /// plane composes successfully and tracks the monolithic model well
+    /// below resonance.
+    #[test]
+    fn random_cuts_compose_and_track(
+        w_mm in 16.0f64..28.0,
+        h_mm in 8.0f64..14.0,
+        fx in 0.3f64..0.7,
+        two_axis in any::<bool>(),
+    ) {
+        let spec = PlaneSpec::rectangle(mm(w_mm), mm(h_mm), 0.3e-3, 4.5)
+            .unwrap()
+            .with_sheet_resistance(2e-3)
+            .with_cell_size(mm(1.0))
+            .with_port("P1", mm(2.0), mm(2.0))
+            .with_port("P2", mm(w_mm - 2.0), mm(h_mm - 2.0));
+        let x_cuts = vec![mm(w_mm * fx)];
+        let y_cuts = if two_axis { vec![mm(h_mm * 0.5)] } else { vec![] };
+        let plan = ShardPlan::with_cuts(x_cuts, y_cuts).unwrap();
+        let sharded = spec.extract_sharded(&plan, &NodeSelection::PortsOnly).unwrap();
+        prop_assert!(sharded.report().cut_links > 0);
+        prop_assert!(sharded.report().eliminated_nodes > 0);
+        let mono = spec.extract(&NodeSelection::PortsOnly).unwrap();
+        // ~100-200 MHz is far below the first resonance of every board in
+        // the sampled size range; the seam error there is well under the
+        // documented few-percent contract.
+        let dev = max_port_impedance_deviation(
+            sharded.equivalent(),
+            mono.equivalent(),
+            &[1e8, 2e8],
+        )
+        .unwrap();
+        prop_assert!(dev < 0.02, "deviation {dev:.3e}");
+    }
+}
+
+#[test]
+fn sharded_extraction_is_thread_count_invariant() {
+    let spec = PlaneSpec::rectangle(mm(20.0), mm(12.0), 0.4e-3, 4.5)
+        .unwrap()
+        .with_sheet_resistance(1e-3)
+        .with_cell_size(mm(1.0))
+        .with_port("P1", mm(2.0), mm(2.0))
+        .with_port("P2", mm(18.0), mm(10.0));
+    let plan = ShardPlan::grid(2, 2).unwrap();
+    let freqs: Vec<f64> = (1..=10).map(|k| k as f64 * 150e6).collect();
+
+    let mut names_ref: Option<Vec<String>> = None;
+    let mut z_ref: Option<Vec<pdn_num::Matrix<c64>>> = None;
+    with_thread_counts(|n| {
+        let sharded = spec
+            .extract_sharded(&plan, &NodeSelection::PortsAndGrid { stride: 2 })
+            .unwrap();
+        assert_eq!(sharded.report().regions.len(), 4, "{n} workers");
+        let names: Vec<String> = sharded.equivalent().node_names().to_vec();
+        let z = sharded.equivalent().impedance_sweep(&freqs).unwrap();
+        match (&names_ref, &z_ref) {
+            (None, None) => {
+                names_ref = Some(names);
+                z_ref = Some(z);
+            }
+            (Some(nr), Some(zr)) => {
+                assert_eq!(&names, nr, "node order with {n} workers");
+                // Bit-identical: the fan-out merges results in region
+                // index order, never in completion order.
+                assert_eq!(&z, zr, "impedance with {n} workers");
+            }
+            _ => unreachable!(),
+        }
+    });
+}
