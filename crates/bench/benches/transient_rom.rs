@@ -1,0 +1,161 @@
+//! Full-stamp vs reduced-order transient on the HP test plane.
+//!
+//! Times the board transient with the plane stamped as the full
+//! Kron-reduced R–L‖C macromodel and as the recursive-convolution
+//! pole–residue ROM, at 2, 4, and 8 ports (1, 3, and 7 chips on the
+//! paper's Figure 6 plane). The full stamp's per-step cost scales with
+//! the retained plane nodes; the ROM's with ports × poles, so the
+//! acceptance bar is ≥ 3× wall-clock at the 8-port board scale. Before
+//! timing anything the harness checks that the reduced run is
+//! bit-identical for `PDN_THREADS` ∈ {1, 2, all} and that the ROM
+//! certified within its held-out tolerance (the `docs/ROM.md`
+//! contract). A machine-readable summary — timings, speedups, state
+//! counts, and held-out residuals — is written to `BENCH_rom.json` in
+//! the crate directory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdn_core::prelude::*;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// HP test-plane outline (40 × 16 mm ceramic, 280 µm, εr 9.6) at the
+/// paper's 1 mm mesh, with `chips` CMOS loads spread along the center
+/// line. Ports = 1 (VRM) + chips. The fine mesh and stride-2 retention
+/// keep the full stamp at board-scale node counts.
+fn hp_board(chips: usize) -> BoardSpec {
+    let plane = PlaneSpec::rectangle(mm(40.0), mm(16.0), um(280.0), 9.6)
+        .expect("valid pair")
+        .with_sheet_resistance(6e-3)
+        .with_cell_size(mm(1.0));
+    let mut board = BoardSpec::new(plane, 3.3, Point::new(mm(2.0), mm(8.0)));
+    for c in 0..chips {
+        let x = 2.0 + 36.0 * (c + 1) as f64 / (chips + 1) as f64;
+        board = board.with_chip(ChipSpec::cmos(
+            format!("U{}", c + 1),
+            Point::new(mm(x), mm(8.0)),
+            2,
+        ));
+    }
+    board
+}
+
+fn rom_spec() -> RomSpec {
+    RomSpec {
+        // The band reaches the transient's Nyquist rate (dt = 50 ps), so
+        // the full stamp's out-of-band ringing cannot escape the fit.
+        f_min: 1e6,
+        f_max: 10e9,
+        points: 64,
+        rel_tol: 1e-5,
+        cert_tol: 0.02,
+    }
+}
+
+/// Single timed run: a board transient at this scale takes long enough
+/// that one wall-clock measurement is a stable figure.
+fn timed<T>(run: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = black_box(run());
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+fn transient_rom_bench(c: &mut Criterion) {
+    let sel = NodeSelection::PortsAndGrid { stride: 2 };
+    let (t_stop, dt) = (20e-9, 0.05e-9);
+    let avail = std::thread::available_parallelism().map_or(1, usize::from);
+
+    println!("--- ROM vs full-stamp transient: HP plane, 1 mm mesh (target >= 3x @ 8 ports) ---");
+    let mut json = String::from("[\n");
+    let mut rom_systems = None;
+    let configs = [1usize, 3, 7];
+    for (ci, &chips) in configs.iter().enumerate() {
+        let board = hp_board(chips);
+        let full_model = board.extract_model(&sel).expect("extractable");
+        let sys_full = board.wire(&full_model, 2).expect("wirable");
+
+        let rom_board = board.clone().with_reduced_order(rom_spec());
+        let rom_model = rom_board.extract_model(&sel).expect("reducible");
+        let rom = rom_model.reduced_model().expect("reduction requested");
+        assert!(
+            rom.holdout_residual() < rom_spec().cert_tol,
+            "ROM failed its certification contract"
+        );
+        let ports = rom.ports();
+        let states = rom.state_count();
+        let sys_rom = rom_board.wire(&rom_model, 2).expect("wirable");
+
+        // Determinism gate: the per-step pole fan-out reduces in pole
+        // index order, so waveforms are bit-identical per worker count.
+        let mut counts = vec![1, 2, avail];
+        counts.sort_unstable();
+        counts.dedup();
+        let mut reference: Option<SsnOutcome> = None;
+        for &n in &counts {
+            std::env::set_var("PDN_THREADS", n.to_string());
+            let out = sys_rom.run(t_stop, dt).expect("solvable");
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(
+                    &out, r,
+                    "reduced transient across PDN_THREADS: {n} workers differ"
+                ),
+            }
+        }
+        std::env::remove_var("PDN_THREADS");
+
+        let (t_full, full) = timed(|| sys_full.run(t_stop, dt).expect("solvable"));
+        let (t_rom, reduced) = timed(|| sys_rom.run(t_stop, dt).expect("solvable"));
+        // Sanity only — the tight transient contract lives in
+        // tests/rom_transient.rs. This board rings at high Q, where a
+        // pointwise peak metric magnifies tiny resonance shifts (see
+        // docs/SHARDING.md on pointwise metrics near resonances).
+        assert!(
+            (reduced.peak_noise - full.peak_noise).abs() < 0.15 * full.peak_noise,
+            "ROM peak noise {} vs full {}",
+            reduced.peak_noise,
+            full.peak_noise
+        );
+        let speedup = t_full / t_rom;
+        println!(
+            "  {ports} ports : full {:8.1} ms   reduced {:8.1} ms   speedup {speedup:5.2}x   \
+             {states} states   holdout {:.2e}",
+            t_full * 1e3,
+            t_rom * 1e3,
+            rom.holdout_residual()
+        );
+        writeln!(
+            json,
+            "  {{\"ports\": {ports}, \"full_seconds\": {t_full:.6}, \
+             \"reduced_seconds\": {t_rom:.6}, \"speedup\": {speedup:.3}, \
+             \"states\": {states}, \"holdout_residual\": {:.3e}}}{}",
+            rom.holdout_residual(),
+            if ci + 1 < configs.len() { "," } else { "" }
+        )
+        .unwrap();
+        if ports == 8 {
+            assert!(
+                speedup >= 3.0,
+                "8-port transient speedup {speedup:.2}x below the 3x acceptance bar"
+            );
+            rom_systems = Some((sys_full, sys_rom));
+        }
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_rom.json", json).expect("writable BENCH_rom.json");
+
+    // Criterion timings: full vs reduced at the 8-port acceptance scale.
+    let (sys_full, sys_rom) = rom_systems.expect("8-port configuration ran");
+    let mut g = c.benchmark_group("transient_rom");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("transient", "full_stamp"), &(), |b, ()| {
+        b.iter(|| black_box(&sys_full).run(t_stop, dt).expect("solvable"));
+    });
+    g.bench_with_input(BenchmarkId::new("transient", "reduced"), &(), |b, ()| {
+        b.iter(|| black_box(&sys_rom).run(t_stop, dt).expect("solvable"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, transient_rom_bench);
+criterion_main!(benches);

@@ -176,6 +176,17 @@ impl Circuit {
                     }
                 }
                 Element::ISource { .. } => {}
+                Element::ReducedOrder { nodes, model } => {
+                    // Ground-referenced multiport admittance block.
+                    let y = model.evaluate(omega / (2.0 * std::f64::consts::PI));
+                    for (i, ni) in nodes.iter().enumerate() {
+                        for (j, nj) in nodes.iter().enumerate() {
+                            if ni.0 > 0 && nj.0 > 0 {
+                                a[(ni.0 - 1, nj.0 - 1)] += y[(i, j)];
+                            }
+                        }
+                    }
+                }
                 Element::CoupledLine { model, near, far } => {
                     let (ys, ym) = model.ac_blocks(omega);
                     let nc = model.conductor_count();

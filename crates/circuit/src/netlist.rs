@@ -2,6 +2,7 @@
 
 use crate::tline_elem::CoupledLineModel;
 use crate::waveform::Waveform;
+use pdn_num::PoleResidueModel;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -99,6 +100,13 @@ pub(crate) enum Element {
         model: CoupledLineModel,
         near: Vec<NodeId>,
         far: Vec<NodeId>,
+    },
+    /// A passive pole–residue macromodel of a multiport admittance,
+    /// ground-referenced at each port and simulated by recursive
+    /// convolution (see [`pdn_num::prom`]).
+    ReducedOrder {
+        nodes: Vec<NodeId>,
+        model: std::sync::Arc<PoleResidueModel>,
     },
 }
 
@@ -331,6 +339,28 @@ impl Circuit {
         assert_eq!(far.len(), model.conductor_count(), "far terminal count");
         self.elements
             .push(Element::CoupledLine { model, near, far });
+    }
+
+    /// Stamps a passive pole–residue macromodel ([`PoleResidueModel`],
+    /// built by `pdn_num::prom` from a certified rational fit) as a
+    /// multiport admittance block. Port `k` of the model is connected
+    /// between `nodes[k]` and ground; in a transient analysis the block
+    /// is simulated by recursive convolution, costing
+    /// `O(poles × ports²)` per step instead of the full network stamp.
+    pub fn reduced_order_block(
+        &mut self,
+        nodes: &[NodeId],
+        model: std::sync::Arc<PoleResidueModel>,
+    ) {
+        assert_eq!(
+            nodes.len(),
+            model.ports(),
+            "one terminal node per macromodel port"
+        );
+        self.elements.push(Element::ReducedOrder {
+            nodes: nodes.to_vec(),
+            model,
+        });
     }
 
     /// Adds a package pin parasitic π-model between `outer` and `inner`:

@@ -49,7 +49,10 @@ pub enum SolverMode {
 /// Transient analysis specification.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransientSpec {
-    /// Stop time, seconds.
+    /// Stop time, seconds. The simulation always covers the full duration:
+    /// the last recorded sample is the first time-grid point `n·dt ≥
+    /// t_stop` (with 1e-9 relative tolerance, so a commensurate
+    /// `t_stop/dt` yields exactly `t_stop/dt` steps).
     pub t_stop: f64,
     /// Uniform time step, seconds.
     pub dt: f64,
@@ -168,15 +171,24 @@ fn k_int(integ: Integration) -> f64 {
 }
 
 impl Circuit {
-    /// Validates a transient spec against this circuit (positive step and
-    /// stop time, step below every transmission-line modal delay).
+    /// Validates a transient spec against this circuit (finite positive
+    /// step and stop time, finite non-negative settle, step below every
+    /// transmission-line modal delay).
     fn validate_transient_spec(&self, spec: &TransientSpec) -> Result<(), SimulateCircuitError> {
         if spec.dt.partial_cmp(&0.0) != Some(Ordering::Greater)
             || spec.t_stop.partial_cmp(&0.0) != Some(Ordering::Greater)
+            || !spec.dt.is_finite()
+            || !spec.t_stop.is_finite()
         {
             return Err(SimulateCircuitError::InvalidSpec(
-                "dt and t_stop must be positive".into(),
+                "dt and t_stop must be positive and finite".into(),
             ));
+        }
+        if !spec.settle.is_finite() || spec.settle < 0.0 {
+            return Err(SimulateCircuitError::InvalidSpec(format!(
+                "settle must be finite and non-negative, got {}",
+                spec.settle
+            )));
         }
         for e in &self.elements {
             if let Element::CoupledLine { model, .. } = e {
@@ -342,6 +354,18 @@ impl Circuit {
                         }
                     }
                     Element::ISource { .. } => {}
+                    Element::ReducedOrder { nodes, model } => {
+                        // Recursive-convolution companion admittance,
+                        // ground-referenced at each port.
+                        let g = model.companion_admittance(kk, dt);
+                        for (i, p) in nodes.iter().enumerate() {
+                            for (j, q) in nodes.iter().enumerate() {
+                                if p.0 > 0 && q.0 > 0 {
+                                    a[(p.0 - 1, q.0 - 1)] += g[(i, j)];
+                                }
+                            }
+                        }
+                    }
                     Element::CoupledLine { model, near, far } => {
                         let yc = model.characteristic_admittance();
                         let nc = model.conductor_count();
@@ -635,7 +659,13 @@ impl Circuit {
         let n = self.n_nodes;
         let m = self.n_vsources;
         let dim = n + m;
-        let n_steps = (spec.t_stop / spec.dt).round() as usize;
+        // Snap rule for the timebase: the run always covers `t_stop`. The
+        // last sample lands on the first grid point `n·dt ≥ t_stop`, with a
+        // relative tolerance of 1e-9 so a commensurate `t_stop/dt` (up to
+        // round-off) keeps exactly `t_stop/dt` steps instead of gaining a
+        // spurious extra one. A `round()` here would silently simulate a
+        // shorter duration whenever `t_stop` is not a multiple of `dt`.
+        let n_steps = ((spec.t_stop / spec.dt) * (1.0 - 1e-9)).ceil().max(1.0) as usize;
         let dt_settle = plan.dt_settle;
         let n_settle = if spec.settle > 0.0 {
             (spec.settle / dt_settle).ceil() as usize
@@ -677,6 +707,7 @@ impl Circuit {
         let mut ind_states: Vec<IndState> = Vec::new();
         let mut cind_states: Vec<CoupledIndState> = Vec::new();
         let mut line_states: Vec<LineState> = Vec::new();
+        let mut rom_states: Vec<pdn_num::RomTransientState> = Vec::new();
         for e in &self.elements {
             match e {
                 Element::Capacitor { .. } => cap_states.push(CapState { i: 0.0, v: 0.0 }),
@@ -685,6 +716,7 @@ impl Circuit {
                     i: [0.0; 2],
                     v: [0.0; 2],
                 }),
+                Element::ReducedOrder { model, .. } => rom_states.push(model.new_state()),
                 Element::CoupledLine { model, .. } => {
                     let nc = model.conductor_count();
                     line_states.push(LineState {
@@ -730,6 +762,7 @@ impl Circuit {
             let mut li = 0;
             let mut cli = 0;
             let mut lsi = 0;
+            let mut ri = 0;
             for e in &self.elements {
                 match e {
                     Element::Capacitor { a: p, b: q, farads } => {
@@ -824,6 +857,16 @@ impl Circuit {
                             add(far[k], j_far[k], &mut rhs);
                         }
                     }
+                    Element::ReducedOrder { nodes, model } => {
+                        let st = &rom_states[ri];
+                        ri += 1;
+                        // i⁺ = G·v⁺ + h, so the Norton history current −h
+                        // enters the RHS at each port node.
+                        let h = model.history_current(kk, dt_now, st);
+                        for (k, nd) in nodes.iter().enumerate() {
+                            add(*nd, -h[k], &mut rhs);
+                        }
+                    }
                     _ => {}
                 }
             }
@@ -903,7 +946,7 @@ impl Circuit {
 
             // Update element states.
             let volt = |node: NodeId, x: &[f64]| if node.0 > 0 { x[node.0 - 1] } else { 0.0 };
-            let (mut ci, mut li, mut cli, mut lsi) = (0, 0, 0, 0);
+            let (mut ci, mut li, mut cli, mut lsi, mut ri) = (0, 0, 0, 0, 0);
             for e in &self.elements {
                 match e {
                     Element::Capacitor { a: p, b: q, farads } => {
@@ -1001,6 +1044,12 @@ impl Circuit {
                                 this_hist[k].push(vm[k] + im[k]);
                             }
                         }
+                    }
+                    Element::ReducedOrder { nodes, model } => {
+                        let st = &mut rom_states[ri];
+                        ri += 1;
+                        let v_new: Vec<f64> = nodes.iter().map(|&nd| volt(nd, &x)).collect();
+                        model.advance_state(kk, dt_now, &v_new, st);
                     }
                     _ => {}
                 }
@@ -1263,6 +1312,58 @@ mod tests {
         ckt.resistor(a, Circuit::GND, 1.0);
         assert!(ckt.transient(&TransientSpec::new(0.0, 1e-9)).is_err());
         assert!(ckt.transient(&TransientSpec::new(1e-9, 0.0)).is_err());
+        assert!(ckt
+            .transient(&TransientSpec::new(f64::INFINITY, 1e-9))
+            .is_err());
+        assert!(ckt.transient(&TransientSpec::new(1e-9, f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn non_finite_or_negative_settle_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor(a, Circuit::GND, 1.0);
+        for settle in [-1e-9, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = ckt
+                .transient(&TransientSpec::new(1e-9, 1e-10).with_settle(settle))
+                .unwrap_err();
+            match err {
+                SimulateCircuitError::InvalidSpec(msg) => {
+                    assert!(msg.contains("settle"), "message: {msg}");
+                }
+                other => panic!("expected InvalidSpec, got {other:?}"),
+            }
+        }
+        // Zero settle stays valid (the documented "no pre-roll" value).
+        assert!(ckt
+            .transient(&TransientSpec::new(1e-9, 1e-10).with_settle(0.0))
+            .is_ok());
+    }
+
+    #[test]
+    fn non_commensurate_t_stop_still_covers_duration() {
+        // t_stop/dt = 3333.33…: round() used to truncate the run to
+        // 3333 steps (t_last < t_stop). The snap rule must extend to the
+        // first grid point ≥ t_stop.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.voltage_source(a, Circuit::GND, Waveform::dc(1.0));
+        ckt.resistor(a, Circuit::GND, 1.0);
+        let (t_stop, dt) = (1e-6, 3e-10);
+        let res = ckt.transient(&TransientSpec::new(t_stop, dt)).unwrap();
+        let t_last = *res.time().last().unwrap();
+        assert!(
+            t_last >= t_stop && t_last < t_stop + dt,
+            "t_last = {t_last:e}, t_stop = {t_stop:e}"
+        );
+        assert_eq!(res.len(), 3335); // 3334 steps + the t = 0 sample
+
+        // Commensurate spec: exactly t_stop/dt steps, last sample at
+        // t_stop (even when t_stop/dt is not representable exactly).
+        let res = ckt.transient(&TransientSpec::new(1e-6, 1e-9)).unwrap();
+        assert_eq!(res.len(), 1001);
+        let t_last = *res.time().last().unwrap();
+        assert!((t_last - 1e-6).abs() < 1e-15, "t_last = {t_last:e}");
     }
 
     #[test]
@@ -1275,6 +1376,112 @@ mod tests {
         ckt.current_source(Circuit::GND, b, Waveform::dc(1e-3));
         let err = ckt.transient(&TransientSpec::new(1e-9, 1e-10)).unwrap_err();
         assert!(matches!(err, SimulateCircuitError::Singular(_)));
+    }
+}
+
+#[cfg(test)]
+mod reduced_order_tests {
+    use super::*;
+    use crate::waveform::Waveform;
+    use pdn_num::rational::{sweep, SweepAccuracy};
+    use pdn_num::{c64, Matrix, PoleResidueModel, PromOptions};
+    use std::sync::Arc;
+
+    /// One-port Y(s) = G + sC + 1/(R₂ + sL): a conductance and capacitor
+    /// to ground in parallel with a series-RL branch — exactly realizable
+    /// with circuit primitives, so the macromodel path can be compared
+    /// against explicit stamping.
+    fn analytic_y(g: f64, c: f64, r2: f64, l: f64, f: f64) -> Matrix<c64> {
+        let s = c64::from_im(2.0 * std::f64::consts::PI * f);
+        Matrix::from_fn(1, 1, |_, _| {
+            c64::from_re(g) + s * c + (s * l + c64::from_re(r2)).recip()
+        })
+    }
+
+    fn rom_from_rlc(g: f64, c: f64, r2: f64, l: f64) -> Arc<PoleResidueModel> {
+        let grid: Vec<f64> = (0..50)
+            .map(|k| 1e6 * (5e9f64 / 1e6).powf(k as f64 / 49.0))
+            .collect();
+        let outcome = sweep(
+            "circuit.rom_test",
+            &grid,
+            SweepAccuracy::Rational { rel_tol: 1e-8 },
+            |f| Ok::<_, std::convert::Infallible>(analytic_y(g, c, r2, l, f)),
+        )
+        .unwrap();
+        let model = outcome.model.expect("rational fit certified");
+        let holdout: Vec<f64> = (0..6)
+            .map(|k| (grid[6 * k] * grid[6 * k + 1]).sqrt())
+            .collect();
+        let holdout_values: Vec<Matrix<c64>> = holdout
+            .iter()
+            .map(|&f| analytic_y(g, c, r2, l, f))
+            .collect();
+        Arc::new(
+            PoleResidueModel::from_rational(
+                "circuit.rom_test",
+                &model,
+                &grid,
+                &outcome.values,
+                &holdout,
+                &holdout_values,
+                &PromOptions { cert_tol: 1e-4 },
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn reduced_order_ac_stamp_matches_model_evaluate() {
+        let rom = rom_from_rlc(2e-3, 1e-12, 1.0, 1e-9);
+        let mut ckt = Circuit::new();
+        let p = ckt.node("p");
+        ckt.reduced_order_block(&[p], rom.clone());
+        for f in [1e7, 1.37e8, 2.9e9] {
+            let z = ckt.impedance_matrix(f, &[p]).unwrap();
+            let expect = rom.evaluate(f)[(0, 0)].recip();
+            let rel = (z[(0, 0)] - expect).norm() / expect.norm();
+            assert!(rel < 1e-9, "f = {f:e}: rel {rel:.3e}");
+        }
+    }
+
+    /// Transient of the macromodel against the explicit RLC realization.
+    /// Trapezoidal companion stamps and recursive convolution are both
+    /// exact bilinear transforms of the same Y(s), so the two waveforms
+    /// agree to the (tiny) rational-fit error.
+    #[test]
+    fn reduced_order_transient_matches_explicit_network() {
+        let (g, c, r2, l) = (2e-3, 1e-12, 1.0, 1e-9);
+        let drive = Waveform::pulse(0.0, 0.05, 1e-9, 0.2e-9, 0.2e-9, 4e-9);
+
+        let mut full = Circuit::new();
+        let out = full.node("out");
+        let mid = full.node("mid");
+        full.current_source(Circuit::GND, out, drive.clone());
+        full.resistor(out, Circuit::GND, 1.0 / g);
+        full.capacitor(out, Circuit::GND, c);
+        full.resistor(out, mid, r2);
+        full.inductor(mid, Circuit::GND, l);
+
+        let mut red = Circuit::new();
+        let rout = red.node("out");
+        red.current_source(Circuit::GND, rout, drive);
+        red.reduced_order_block(&[rout], rom_from_rlc(g, c, r2, l));
+
+        let spec = TransientSpec::new(10e-9, 2e-12);
+        let vf = full.transient(&spec).unwrap();
+        let vr = red.transient(&spec).unwrap();
+        let a = vf.voltage(out);
+        let b = vr.voltage(rout);
+        assert_eq!(a.len(), b.len());
+        let peak = a.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(peak > 1e-3, "drive produced no response");
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() < 1e-4 * peak,
+                "step {i}: full {x:e} vs reduced {y:e} (peak {peak:e})"
+            );
+        }
     }
 }
 

@@ -38,12 +38,13 @@ use pdn_circuit::netlist::SourceId;
 use pdn_circuit::{
     Circuit, CoupledLineModel, NodeId, SimulateCircuitError, TransientPlan, TransientSpec, Waveform,
 };
-use pdn_extract::NodeSelection;
+use pdn_extract::{NodeSelection, RomSpec};
 use pdn_geom::{PlaneMesh, Point};
-use pdn_num::Matrix;
+use pdn_num::{Matrix, PoleResidueModel};
 use pdn_shard::{ShardPlan, ShardReport, ShardedExtraction};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// How [`BoardSpec::extract_model`] turns the plane into a macromodel.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -211,6 +212,12 @@ pub struct BoardSpec {
     pub decap_sites: Vec<Point>,
     /// Extraction strategy for the plane macromodel.
     pub extraction: ExtractionStrategy,
+    /// Opt-in reduced-order plane model: when set,
+    /// [`extract_model`](BoardSpec::extract_model) additionally fits a
+    /// passive pole–residue macromodel of the plane's port admittance and
+    /// [`wire`](BoardSpec::wire) stamps *that* (simulated by recursive
+    /// convolution) instead of the full R–L‖C branch network.
+    pub reduction: Option<RomSpec>,
 }
 
 impl BoardSpec {
@@ -226,6 +233,7 @@ impl BoardSpec {
             decaps: Vec::new(),
             decap_sites: Vec::new(),
             extraction: ExtractionStrategy::Monolithic,
+            reduction: None,
         }
     }
 
@@ -234,6 +242,19 @@ impl BoardSpec {
     /// domain-decomposed extraction.
     pub fn with_extraction_strategy(mut self, strategy: ExtractionStrategy) -> Self {
         self.extraction = strategy;
+        self
+    }
+
+    /// Opts the board into a reduced-order plane model (builder style):
+    /// after extraction, the port admittance of the as-stamped macromodel
+    /// is fitted into a certified passive pole–residue form, and
+    /// transient runs simulate it by recursive convolution — per-step
+    /// cost scales with `ports × poles` instead of the macromodel node
+    /// count. Scenario batching, decap optimization, and switching sweeps
+    /// consume the reduced model unchanged. See `docs/ROM.md` for the
+    /// accuracy contract.
+    pub fn with_reduced_order(mut self, spec: RomSpec) -> Self {
+        self.reduction = Some(spec);
         self
     }
 
@@ -309,6 +330,19 @@ impl BoardSpec {
             ExtractionStrategy::Sharded { plan } => {
                 PlaneModel::Sharded(Box::new(plane.extract_sharded(plan, selection)?))
             }
+        };
+        let model = match &self.reduction {
+            Some(spec) => {
+                let rom = model
+                    .equivalent()
+                    .reduce_order(spec)
+                    .map_err(|e| BuildBoardError::Extraction(ExtractPlaneError::Extraction(e)))?;
+                PlaneModel::Reduced {
+                    base: Box::new(model),
+                    rom: Arc::new(rom),
+                }
+            }
+            None => model,
         };
         Ok(ExtractedModel {
             plane: model,
@@ -442,11 +476,28 @@ impl BoardSpec {
             decap_sites.push(site);
         }
 
-        // 2. Stamp the macromodel into the netlist.
+        // 2. Stamp the macromodel into the netlist: the full R–L‖C branch
+        //    network, or — when the model carries a reduction — one
+        //    recursive-convolution block over the port nodes only.
         let mut ckt = Circuit::new();
         let eq = model.equivalent();
-        let nodes = eq.to_circuit(&mut ckt, "pg_", 0.0);
-        let port_node = |p: usize| nodes[eq.port_node(p)];
+        let (port_nodes, pdn_nodes) = match model.reduced_model() {
+            Some(rom) => {
+                let nodes: Vec<NodeId> = (0..eq.port_count())
+                    .map(|p| ckt.node(format!("pg_{}", eq.node_names()[eq.port_node(p)])))
+                    .collect();
+                ckt.reduced_order_block(&nodes, rom.clone());
+                (nodes, eq.port_count())
+            }
+            None => {
+                let nodes = eq.to_circuit(&mut ckt, "pg_", 0.0);
+                let ports = (0..eq.port_count())
+                    .map(|p| nodes[eq.port_node(p)])
+                    .collect();
+                (ports, eq.node_count())
+            }
+        };
+        let port_node = |p: usize| port_nodes[p];
 
         // 3. Supply.
         let vrm_plane = port_node(0);
@@ -524,7 +575,7 @@ impl BoardSpec {
             driver_outputs,
             vcc: self.vcc,
             supply,
-            pdn_nodes: eq.node_count(),
+            pdn_nodes,
             signal_nets,
             devices,
         })
@@ -579,11 +630,36 @@ pub struct ExtractedModel {
 }
 
 /// The plane macromodel behind an [`ExtractedModel`] — monolithic (with
-/// its BEM reference system) or sharded (composed from regions).
+/// its BEM reference system), sharded (composed from regions), or either
+/// of those wrapped with a fitted pole–residue reduction of its port
+/// admittance.
 #[derive(Debug, Clone)]
 enum PlaneModel {
     Monolithic(Box<ExtractedPlane>),
     Sharded(Box<ShardedExtraction>),
+    Reduced {
+        base: Box<PlaneModel>,
+        rom: Arc<PoleResidueModel>,
+    },
+}
+
+impl PlaneModel {
+    /// Strips a reduction wrapper, if any.
+    fn base(&self) -> &PlaneModel {
+        match self {
+            PlaneModel::Reduced { base, .. } => base,
+            other => other,
+        }
+    }
+
+    /// The extracted R–L‖C macromodel behind any wrapper.
+    fn equivalent(&self) -> &pdn_extract::EquivalentCircuit {
+        match self.base() {
+            PlaneModel::Monolithic(p) => p.equivalent(),
+            PlaneModel::Sharded(s) => s.equivalent(),
+            PlaneModel::Reduced { .. } => unreachable!("base() strips the reduction wrapper"),
+        }
+    }
 }
 
 impl ExtractedModel {
@@ -591,26 +667,33 @@ impl ExtractedModel {
     /// circuit), or `None` for a sharded extraction — sharding never
     /// assembles a whole-board BEM system, that being its point.
     pub fn plane(&self) -> Option<&ExtractedPlane> {
-        match &self.plane {
+        match self.plane.base() {
             PlaneModel::Monolithic(p) => Some(p),
-            PlaneModel::Sharded(_) => None,
+            _ => None,
         }
     }
 
     /// Per-region statistics of a sharded extraction, or `None` for a
     /// monolithic one.
     pub fn shard_report(&self) -> Option<&ShardReport> {
-        match &self.plane {
-            PlaneModel::Monolithic(_) => None,
+        match self.plane.base() {
             PlaneModel::Sharded(s) => Some(s.report()),
+            _ => None,
         }
     }
 
     /// The extracted R–L‖C macromodel.
     pub fn equivalent(&self) -> &pdn_extract::EquivalentCircuit {
+        self.plane.equivalent()
+    }
+
+    /// The passive pole–residue port macromodel fitted at extraction, or
+    /// `None` when the board did not opt into
+    /// [`BoardSpec::with_reduced_order`].
+    pub fn reduced_model(&self) -> Option<&Arc<PoleResidueModel>> {
         match &self.plane {
-            PlaneModel::Monolithic(p) => p.equivalent(),
-            PlaneModel::Sharded(s) => s.equivalent(),
+            PlaneModel::Reduced { rom, .. } => Some(rom),
+            _ => None,
         }
     }
 
@@ -1026,6 +1109,36 @@ mod tests {
             .run(10e-9, 0.05e-9)
             .unwrap();
         assert!(out.time.len() > 50);
+    }
+
+    #[test]
+    fn reduced_order_board_runs_and_tracks_full_stamp() {
+        let spec = RomSpec {
+            f_min: 1e6,
+            f_max: 4e9,
+            points: 48,
+            rel_tol: 1e-5,
+            cert_tol: 0.02,
+        };
+        let sel = NodeSelection::PortsAndGrid { stride: 3 };
+        let full_sys = small_board().build(&sel, 4).unwrap();
+        let board = small_board().with_reduced_order(spec);
+        let model = board.extract_model(&sel).unwrap();
+        let rom = model.reduced_model().expect("reduction requested");
+        assert_eq!(rom.ports(), model.equivalent().port_count());
+        // The base extraction stays reachable behind the wrapper.
+        assert!(model.plane().is_some());
+        let sys = board.wire(&model, 4).unwrap();
+        // The ROM collapses the PDN to its port nodes.
+        assert_eq!(sys.partition().pdn_nodes, rom.ports());
+        let out = sys.run(15e-9, 0.05e-9).unwrap();
+        let full = full_sys.run(15e-9, 0.05e-9).unwrap();
+        assert!(
+            (out.peak_noise - full.peak_noise).abs() < 0.05 * full.peak_noise,
+            "reduced {} vs full {}",
+            out.peak_noise,
+            full.peak_noise
+        );
     }
 
     #[test]

@@ -70,12 +70,12 @@ pub mod prelude {
     pub use pdn_circuit::{
         s_from_z, AcSweep, Circuit, CoupledLineModel, Integration, TransientSpec, Waveform,
     };
-    pub use pdn_extract::{EquivalentCircuit, NodeSelection};
+    pub use pdn_extract::{EquivalentCircuit, NodeSelection, RomSpec};
     pub use pdn_fdtd::PlaneFdtd;
     pub use pdn_geom::units::{ghz, inch, mhz, mil, mm, nf, nh, ns, pf, ps, uf, um};
     pub use pdn_geom::{PlaneMesh, PlanePair, Point, Polygon, Stackup};
     pub use pdn_greens::{LayeredKernel, SurfaceImpedance};
-    pub use pdn_num::{c64, Matrix, SweepAccuracy, SweepStats};
+    pub use pdn_num::{c64, Matrix, PoleResidueModel, SweepAccuracy, SweepStats};
     pub use pdn_shard::{ShardPlan, ShardReport};
     pub use pdn_tline::{simulate_coupled_pair, MicrostripArray};
 }

@@ -4,7 +4,9 @@ use crate::reduce::kron_reduce;
 use pdn_bem::BemSystem;
 use pdn_circuit::{Circuit, NodeId};
 use pdn_num::rational::{self, SweepAccuracy, SweepError, SweepOutcome};
-use pdn_num::{c64, CholeskyDecomposition, LuDecomposition, Matrix};
+use pdn_num::{
+    c64, CholeskyDecomposition, LuDecomposition, Matrix, PoleResidueModel, PromError, PromOptions,
+};
 use std::error::Error;
 use std::f64::consts::PI;
 use std::fmt;
@@ -16,6 +18,52 @@ fn from_sweep_err(e: SweepError<ExtractCircuitError>) -> ExtractCircuitError {
     match e {
         SweepError::InvalidInput(msg) => ExtractCircuitError::InvalidInput(msg),
         SweepError::Eval(e) => e,
+    }
+}
+
+/// Maps a pole–residue fitting error onto the extraction error type.
+fn from_prom_err(e: PromError) -> ExtractCircuitError {
+    match e {
+        PromError::InvalidInput(msg) => ExtractCircuitError::InvalidInput(msg),
+        PromError::NumericalBreakdown(msg) => ExtractCircuitError::NumericalBreakdown(msg),
+        PromError::CertificationFailed { residual, tol } => {
+            ExtractCircuitError::NumericalBreakdown(format!(
+                "reduced-order model failed held-out certification: \
+                 residual {residual:.3e} exceeds tolerance {tol:.3e}"
+            ))
+        }
+    }
+}
+
+/// Fit band and tolerances for [`EquivalentCircuit::reduce_order`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RomSpec {
+    /// Lower edge of the fit band in Hz (must be positive).
+    pub f_min: f64,
+    /// Upper edge of the fit band in Hz (must exceed `f_min`). Choose it
+    /// to cover the spectral content of the intended transient drive.
+    pub f_max: f64,
+    /// Number of logarithmically spaced fit points across the band
+    /// (at least 8).
+    pub points: usize,
+    /// Relative tolerance of the certified rational sweep used to fit the
+    /// port admittance.
+    pub rel_tol: f64,
+    /// Held-out certification tolerance of the pole–residue model: the
+    /// worst relative Frobenius deviation at geometric-midpoint
+    /// frequencies never seen by the fit.
+    pub cert_tol: f64,
+}
+
+impl Default for RomSpec {
+    fn default() -> Self {
+        RomSpec {
+            f_min: 1e6,
+            f_max: 5e9,
+            points: 64,
+            rel_tol: 1e-4,
+            cert_tol: 0.02,
+        }
     }
 }
 
@@ -761,6 +809,110 @@ impl EquivalentCircuit {
     pub fn has_loss(&self) -> bool {
         self.g.max_abs() > 0.0
     }
+
+    /// The macromodel as the transient engine would stamp it: a scratch
+    /// [`Circuit`] holding the default [`Realization::Passive`] netlist,
+    /// plus the circuit node of every port.
+    fn stamped_ports(&self) -> (Circuit, Vec<NodeId>) {
+        let mut ckt = Circuit::new();
+        let nodes = self.to_circuit(&mut ckt, "rom_", 0.0);
+        let ports = (0..self.port_count())
+            .map(|p| nodes[self.port_node(p)])
+            .collect();
+        (ckt, ports)
+    }
+
+    /// Fits a passive pole–residue reduced-order model of the **port
+    /// admittance of the as-stamped netlist** (the default
+    /// [`Realization::Passive`] export, which drops negative Kron
+    /// residues and dielectric loss — exactly what a transient run
+    /// stamps), so that simulating the returned model by recursive
+    /// convolution reproduces the full-stamp waveforms to the fit
+    /// tolerance.
+    ///
+    /// The fit runs a certified rational sweep over `spec.points`
+    /// logarithmically spaced frequencies in `[spec.f_min, spec.f_max]`,
+    /// converts the barycentric model to pole–residue form, enforces
+    /// passivity, and certifies the result against exact solves at
+    /// geometric-midpoint frequencies never seen by the fit (tolerance
+    /// `spec.cert_tol`). Set `PDN_ROM_STATS=1` for a fitting report on
+    /// stderr.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractCircuitError::InvalidInput`] for a bad band or tolerance;
+    /// [`ExtractCircuitError::NumericalBreakdown`] when the sweep cannot
+    /// certify a rational model or the pole–residue conversion fails its
+    /// held-out certification.
+    pub fn reduce_order(&self, spec: &RomSpec) -> Result<PoleResidueModel, ExtractCircuitError> {
+        if !spec.f_min.is_finite()
+            || !spec.f_max.is_finite()
+            || spec.f_min <= 0.0
+            || spec.f_max <= spec.f_min
+        {
+            return Err(ExtractCircuitError::InvalidInput(format!(
+                "reduced-order fit band must satisfy 0 < f_min < f_max, got [{:e}, {:e}]",
+                spec.f_min, spec.f_max
+            )));
+        }
+        if spec.points < 8 {
+            return Err(ExtractCircuitError::InvalidInput(format!(
+                "reduced-order fit needs at least 8 points, got {}",
+                spec.points
+            )));
+        }
+        let (ckt, ports) = self.stamped_ports();
+        let eval = |f: f64| -> Result<Matrix<c64>, ExtractCircuitError> {
+            let z = ckt
+                .impedance_matrix(f, &ports)
+                .map_err(|e| ExtractCircuitError::NumericalBreakdown(e.to_string()))?;
+            let lu = LuDecomposition::new(z)
+                .map_err(|e| ExtractCircuitError::NumericalBreakdown(e.to_string()))?;
+            lu.inverse()
+                .map_err(|e| ExtractCircuitError::NumericalBreakdown(e.to_string()))
+        };
+        let grid: Vec<f64> = (0..spec.points)
+            .map(|k| {
+                spec.f_min * (spec.f_max / spec.f_min).powf(k as f64 / (spec.points - 1) as f64)
+            })
+            .collect();
+        let outcome = rational::sweep(
+            "extract.rom",
+            &grid,
+            SweepAccuracy::Rational {
+                rel_tol: spec.rel_tol,
+            },
+            eval,
+        )
+        .map_err(from_sweep_err)?;
+        let model = outcome.model.ok_or_else(|| {
+            ExtractCircuitError::NumericalBreakdown(
+                "rational sweep did not certify an interpolant for the reduced-order fit".into(),
+            )
+        })?;
+        // Held-out certification grid: geometric midpoints of fit
+        // intervals, never touched by the sweep.
+        let stride = ((spec.points - 1) / 8).max(1);
+        let mut holdout = Vec::new();
+        let mut holdout_values = Vec::new();
+        for k in (0..spec.points - 1).step_by(stride) {
+            let f = (grid[k] * grid[k + 1]).sqrt();
+            holdout_values.push(eval(f)?);
+            holdout.push(f);
+        }
+        PoleResidueModel::from_rational(
+            "extract.rom",
+            &model,
+            &grid,
+            &outcome.values,
+            &holdout,
+            &holdout_values,
+            &PromOptions {
+                cert_tol: spec.cert_tol,
+            },
+        )
+        .map_err(from_prom_err)
+    }
 }
 
 /// Spreads `count` equivalent-circuit retained nodes across a mesh —
@@ -1083,6 +1235,64 @@ mod tests {
                 .unwrap_err(),
             ExtractCircuitError::InvalidInput(_)
         ));
+    }
+
+    #[test]
+    fn reduce_order_certifies_against_stamped_netlist() {
+        let sys = bem(true, &[(mm(2.0), mm(2.0)), (mm(17.0), mm(17.0))]);
+        let eq =
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
+        let spec = RomSpec {
+            f_min: 1e7,
+            f_max: 3e9,
+            points: 48,
+            rel_tol: 1e-5,
+            cert_tol: 0.02,
+        };
+        let rom = eq.reduce_order(&spec).unwrap();
+        assert_eq!(rom.ports(), 2);
+        assert!(rom.pole_count() >= 1, "poles: {}", rom.pole_count());
+        assert!(rom.holdout_residual() < spec.cert_tol);
+        // The ROM must track the AS-STAMPED netlist (Passive realization),
+        // not the internal admittance with tanδ — compare off-grid.
+        let (ckt, ports) = eq.stamped_ports();
+        for &f in &[3.3e7, 4.1e8, 1.9e9] {
+            let z = ckt.impedance_matrix(f, &ports).unwrap();
+            let y_ref = LuDecomposition::new(z).unwrap().inverse().unwrap();
+            let y_rom = rom.evaluate(f);
+            let rel = (&y_rom - &y_ref).frobenius_norm() / y_ref.frobenius_norm();
+            assert!(rel < 0.02, "f = {f:e}: rel {rel:.3e}");
+        }
+    }
+
+    #[test]
+    fn reduce_order_rejects_bad_specs() {
+        let sys = bem(true, &[(mm(2.0), mm(2.0))]);
+        let eq = EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsOnly).unwrap();
+        for spec in [
+            RomSpec {
+                f_min: 0.0,
+                ..RomSpec::default()
+            },
+            RomSpec {
+                f_min: 1e9,
+                f_max: 1e8,
+                ..RomSpec::default()
+            },
+            RomSpec {
+                f_max: f64::NAN,
+                ..RomSpec::default()
+            },
+            RomSpec {
+                points: 4,
+                ..RomSpec::default()
+            },
+        ] {
+            assert!(matches!(
+                eq.reduce_order(&spec).unwrap_err(),
+                ExtractCircuitError::InvalidInput(_)
+            ));
+        }
     }
 
     #[test]

@@ -48,6 +48,8 @@ pub mod resonance;
 pub mod spice;
 pub mod taylor;
 
-pub use circuit::{Branch, EquivalentCircuit, ExtractCircuitError, NodeSelection, Realization};
+pub use circuit::{
+    Branch, EquivalentCircuit, ExtractCircuitError, NodeSelection, Realization, RomSpec,
+};
 pub use reduce::kron_reduce;
 pub use resonance::{find_impedance_peaks, linear_grid, peaks_on_grid};

@@ -270,7 +270,7 @@ impl RationalModel {
 
 /// All roots of `Σ_d coeffs[d]·x^d` by the Durand–Kerner (Weierstrass)
 /// iteration with deterministic initial guesses.
-fn polynomial_roots(coeffs: &[c64]) -> Vec<c64> {
+pub(crate) fn polynomial_roots(coeffs: &[c64]) -> Vec<c64> {
     let max_c = coeffs.iter().map(|cc| cc.norm()).fold(0.0, f64::max);
     if max_c == 0.0 {
         return Vec::new();
