@@ -46,6 +46,11 @@ pub struct BemOptions {
     /// Treat the substrate as a microstrip (grounded slab with air above)
     /// instead of a confined plane pair. Used for patch structures.
     pub microstrip: bool,
+    /// Low-rank (ACA) kernel compression. `None` (the default) assembles
+    /// the dense `P`/`L` matrices; `Some(spec)` stores both kernels in
+    /// certified hierarchically compressed form (see
+    /// [`crate::compress`]).
+    pub compression: Option<crate::compress::CompressionSpec>,
 }
 
 impl Default for BemOptions {
@@ -54,6 +59,7 @@ impl Default for BemOptions {
             testing: Testing::PointMatching,
             image_terms: 40,
             microstrip: false,
+            compression: None,
         }
     }
 }
@@ -69,6 +75,41 @@ impl BemOptions {
     pub fn with_microstrip(mut self) -> Self {
         self.microstrip = true;
         self
+    }
+
+    /// Enables certified low-rank kernel compression (builder style).
+    pub fn with_compression(mut self, spec: crate::compress::CompressionSpec) -> Self {
+        self.compression = Some(spec);
+        self
+    }
+
+    /// Checks every option field up front, returning a descriptive
+    /// [`AssembleBemError::InvalidInput`] instead of failing deep inside
+    /// assembly. Called by [`assemble_matrices`] and the compressed
+    /// assembly path.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `image_terms == 0` when the microstrip kernel is
+    /// selected, a Galerkin order of 0, and any invalid
+    /// [`CompressionSpec`](crate::compress::CompressionSpec).
+    pub fn validate(&self) -> Result<(), AssembleBemError> {
+        if self.microstrip && self.image_terms == 0 {
+            return Err(AssembleBemError::InvalidInput(
+                "microstrip kernel needs at least one image term".into(),
+            ));
+        }
+        if let Testing::Galerkin { order } = self.testing {
+            if order == 0 {
+                return Err(AssembleBemError::InvalidInput(
+                    "Galerkin testing order must be at least 1".into(),
+                ));
+            }
+        }
+        if let Some(spec) = &self.compression {
+            spec.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -131,6 +172,7 @@ pub fn assemble_matrices(
     zs: &SurfaceImpedance,
     opts: &BemOptions,
 ) -> Result<RawMatrices, AssembleBemError> {
+    opts.validate()?;
     let n = mesh.cell_count();
     let m = mesh.link_count();
     if n == 0 {

@@ -48,10 +48,15 @@
 //! ```
 
 pub mod assembly;
+pub mod compress;
 pub mod system;
 
 pub use assembly::{
     assemble_link_matrices, assemble_matrices, cross_block_lumping, AssembleBemError, BemOptions,
     RawMatrices, Testing,
+};
+pub use compress::{
+    assemble_compressed, compress_link_matrices, CompressedKernel, CompressedKernels,
+    CompressedLinkKernel, CompressionSpec, CompressionStats,
 };
 pub use system::BemSystem;

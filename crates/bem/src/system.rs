@@ -15,6 +15,7 @@
 //! equivalent circuit of `pdn-extract` is checked against.
 
 use crate::assembly::{assemble_matrices, AssembleBemError, BemOptions, RawMatrices};
+use crate::compress::{assemble_compressed, CompressedKernels};
 use pdn_geom::{PlaneMesh, PlanePair};
 use pdn_greens::SurfaceImpedance;
 use pdn_num::rational::{self, SweepAccuracy, SweepError, SweepOutcome};
@@ -31,20 +32,35 @@ fn from_sweep_err(e: SweepError<AssembleBemError>) -> AssembleBemError {
     }
 }
 
+/// Dense kernel storage: the assembled matrices plus the incidence
+/// promoted to complex once at assembly (every per-frequency solve needs
+/// it and it is ω-independent).
+#[derive(Debug, Clone)]
+struct DenseKernels {
+    p_coef: Matrix<f64>,
+    c: Matrix<f64>,
+    l: Matrix<f64>,
+    incidence: Matrix<f64>,
+    incidence_c: Matrix<c64>,
+}
+
+/// The kernel storage backing a [`BemSystem`]: dense matrices (the
+/// default), or certified low-rank compressed operators (see
+/// [`crate::compress`]) that never materialize `P`, `C`, or `L`.
+#[derive(Debug, Clone)]
+enum KernelStore {
+    Dense(Box<DenseKernels>),
+    Compressed(Box<CompressedKernels>),
+}
+
 /// An assembled boundary-element system for one plane structure.
 #[derive(Debug, Clone)]
 pub struct BemSystem {
     mesh: PlaneMesh,
     pair: PlanePair,
     zs: SurfaceImpedance,
-    p_coef: Matrix<f64>,
-    c: Matrix<f64>,
-    l: Matrix<f64>,
+    kernels: KernelStore,
     r_link: Vec<f64>,
-    incidence: Matrix<f64>,
-    /// `A` promoted to complex once at assembly — every per-frequency
-    /// solve needs it and it is ω-independent.
-    incidence_c: Matrix<c64>,
 }
 
 impl BemSystem {
@@ -53,16 +69,38 @@ impl BemSystem {
     /// `zs` is the **loop** surface impedance seen by the link currents
     /// (for two identical planes, twice the per-plane sheet resistance).
     ///
+    /// With [`BemOptions::compression`] set, the kernels are stored in
+    /// certified low-rank form instead of dense matrices; such a system
+    /// exposes [`compressed`](Self::compressed) operators, its dense
+    /// accessors panic, and its direct frequency-domain solves return
+    /// [`AssembleBemError::InvalidInput`] (downstream consumers solve it
+    /// iteratively through the equivalent-circuit extraction path).
+    ///
     /// # Errors
     ///
-    /// Returns [`AssembleBemError`] when the mesh is empty or the
-    /// potential matrix cannot be inverted.
+    /// Returns [`AssembleBemError`] when the options are invalid, the
+    /// mesh is empty, the potential matrix cannot be inverted, or a
+    /// compressed block fails certification.
     pub fn assemble(
         mesh: PlaneMesh,
         pair: &PlanePair,
         zs: &SurfaceImpedance,
         opts: &BemOptions,
     ) -> Result<Self, AssembleBemError> {
+        opts.validate()?;
+        if let Some(spec) = &opts.compression {
+            let (kernels, r_link) = assemble_compressed(&mesh, pair, zs, opts, spec)?;
+            if mesh.cell_count() == 0 {
+                return Err(AssembleBemError::EmptyMesh);
+            }
+            return Ok(BemSystem {
+                mesh,
+                pair: *pair,
+                zs: *zs,
+                kernels: KernelStore::Compressed(Box::new(kernels)),
+                r_link,
+            });
+        }
         let raw = assemble_matrices(&mesh, pair, zs, opts)?;
         Self::from_raw(mesh, pair, zs, raw)
     }
@@ -118,13 +156,27 @@ impl BemSystem {
             mesh,
             pair: *pair,
             zs: *zs,
-            p_coef,
-            c,
-            l,
+            kernels: KernelStore::Dense(Box::new(DenseKernels {
+                p_coef,
+                c,
+                l,
+                incidence,
+                incidence_c,
+            })),
             r_link,
-            incidence,
-            incidence_c,
         })
+    }
+
+    /// The dense kernel store, panicking with a pointer at the
+    /// compressed API when the system was assembled with compression.
+    fn dense(&self) -> &DenseKernels {
+        match &self.kernels {
+            KernelStore::Dense(d) => d,
+            KernelStore::Compressed(_) => panic!(
+                "dense kernel accessor called on a compressed BemSystem; use \
+                 BemSystem::compressed() and the iterative extraction path"
+            ),
+        }
     }
 
     /// The discretization this system was assembled from.
@@ -138,18 +190,47 @@ impl BemSystem {
     }
 
     /// Potential-coefficient matrix `P` (N×N, 1/F).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a compressed system — use
+    /// [`compressed`](Self::compressed).
     pub fn potential_coefficients(&self) -> &Matrix<f64> {
-        &self.p_coef
+        &self.dense().p_coef
     }
 
     /// Short-circuit capacitance matrix `C = P⁻¹` (N×N, F).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a compressed system — use
+    /// [`compressed`](Self::compressed).
     pub fn capacitance(&self) -> &Matrix<f64> {
-        &self.c
+        &self.dense().c
     }
 
     /// Partial-inductance matrix over links (M×M, H).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a compressed system — use
+    /// [`compressed`](Self::compressed).
     pub fn inductance(&self) -> &Matrix<f64> {
-        &self.l
+        &self.dense().l
+    }
+
+    /// The compressed kernel set, when the system was assembled with
+    /// [`BemOptions::compression`]; `None` for dense systems.
+    pub fn compressed(&self) -> Option<&CompressedKernels> {
+        match &self.kernels {
+            KernelStore::Dense(_) => None,
+            KernelStore::Compressed(ck) => Some(ck),
+        }
+    }
+
+    /// Whether the kernels are stored in compressed form.
+    pub fn is_compressed(&self) -> bool {
+        matches!(self.kernels, KernelStore::Compressed(_))
     }
 
     /// Link loop resistances at DC (M, Ω).
@@ -175,8 +256,13 @@ impl BemSystem {
     }
 
     /// Signed link↔cell incidence `A` (M×N): the discrete gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a compressed system, which never densifies `A` —
+    /// iterate [`PlaneMesh::incidence`] triples instead.
     pub fn incidence(&self) -> &Matrix<f64> {
-        &self.incidence
+        &self.dense().incidence
     }
 
     /// Full nodal admittance `Y(ω) = jωC + Aᵀ(Zs + jωL)⁻¹A` at frequency
@@ -188,17 +274,30 @@ impl BemSystem {
     /// lossless system's branch impedance `Zs + jωL` is singular, so the
     /// formula only applies above DC (same contract as
     /// [`port_impedance`](Self::port_impedance)). For `f > 0` with
-    /// positive-definite `L` the solve cannot break down.
+    /// positive-definite `L` the solve cannot break down. A compressed
+    /// system also returns [`AssembleBemError::InvalidInput`]: the dense
+    /// per-frequency factorization would densify the kernels, so
+    /// compressed systems are solved through the extracted
+    /// equivalent-circuit/macromodel path instead.
     pub fn nodal_admittance(&self, f: f64) -> Result<Matrix<c64>, AssembleBemError> {
+        if self.is_compressed() {
+            return Err(AssembleBemError::InvalidInput(
+                "direct frequency-domain solves are not available on a compressed \
+                 BemSystem (they would densify the kernels); extract an equivalent \
+                 circuit or macromodel and sweep that instead"
+                    .into(),
+            ));
+        }
         if f <= 0.0 {
             return Err(AssembleBemError::InvalidInput(format!(
                 "nodal admittance requires f > 0 (Zs + jωL is singular at DC \
                  for a lossless system), got f = {f}"
             )));
         }
+        let dk = self.dense();
         let omega = 2.0 * PI * f;
-        let m = self.l.nrows();
-        let n = self.c.nrows();
+        let m = dk.l.nrows();
+        let n = dk.c.nrows();
         // Branch impedance Zb = Zs(f) + jωL (complex, M×M). The surface
         // impedance follows the assembled model: flat for a sheet
         // resistance, √f above the skin transition for a conductor model
@@ -212,14 +311,14 @@ impl BemSystem {
                 } else {
                     0.0
                 };
-                zb[(i, j)] = c64::new(re, omega * self.l[(i, j)]);
+                zb[(i, j)] = c64::new(re, omega * dk.l[(i, j)]);
             }
         }
         let lu = LuDecomposition::new(zb)
             .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
         // X = Zb⁻¹ A  (M×N), then Y = jωC + Aᵀ X. `A` is ω-independent and
         // cached in complex form at assembly time.
-        let a_c = &self.incidence_c;
+        let a_c = &dk.incidence_c;
         let x = lu
             .solve_matrix(a_c)
             .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
@@ -227,7 +326,7 @@ impl BemSystem {
         let mut y = ata;
         for i in 0..n {
             for j in 0..n {
-                let c_term = c64::new(0.0, omega * self.c[(i, j)]);
+                let c_term = c64::new(0.0, omega * dk.c[(i, j)]);
                 y[(i, j)] += c_term;
             }
         }
@@ -268,7 +367,7 @@ impl BemSystem {
         assert!(!ports.is_empty(), "no ports bound to the mesh");
         let lu = LuDecomposition::new(y)
             .map_err(|e| AssembleBemError::NumericalBreakdown(e.to_string()))?;
-        let n = self.c.nrows();
+        let n = self.mesh.cell_count();
         let np = ports.len();
         let mut z = Matrix::<c64>::zeros(np, np);
         for (pj, &cell_j) in ports.iter().enumerate() {

@@ -191,6 +191,15 @@ impl PlaneSpec {
         self
     }
 
+    /// Enables certified low-rank (ACA) kernel compression with the given
+    /// settings (builder style). Extraction then assembles the BEM
+    /// kernels hierarchically and runs the iterative reduction path — see
+    /// `docs/COMPRESSION.md`.
+    pub fn with_compression(mut self, spec: pdn_bem::CompressionSpec) -> Self {
+        self.options = self.options.with_compression(spec);
+        self
+    }
+
     /// Number of ports defined so far.
     pub fn port_count(&self) -> usize {
         self.ports.len()
@@ -371,6 +380,29 @@ mod tests {
         let z_eq = ex.equivalent().impedance(200e6).unwrap();
         let rel = (z_bem[(0, 1)] - z_eq[(0, 1)]).norm() / z_bem[(0, 1)].norm();
         assert!(rel < 0.05, "rel = {rel}");
+    }
+
+    #[test]
+    fn compressed_extraction_tracks_dense_flow() {
+        let base = || {
+            PlaneSpec::rectangle(mm(20.0), mm(15.0), 0.5e-3, 4.5)
+                .unwrap()
+                .with_sheet_resistance(3e-3)
+                .with_cell_size(mm(1.0))
+                .with_port("A", mm(2.0), mm(2.0))
+                .with_port("B", mm(18.0), mm(13.0))
+        };
+        let sel = NodeSelection::PortsAndGrid { stride: 3 };
+        let dense = base().extract(&sel).unwrap();
+        let compressed = base()
+            .with_compression(pdn_bem::CompressionSpec::default())
+            .extract(&sel)
+            .unwrap();
+        assert!(compressed.bem().is_compressed());
+        let zd = dense.equivalent().impedance(200e6).unwrap();
+        let zc = compressed.equivalent().impedance(200e6).unwrap();
+        let rel = (zd[(0, 1)] - zc[(0, 1)]).norm() / zd[(0, 1)].norm();
+        assert!(rel < 1e-4, "rel = {rel:.3e}");
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod prelude {
     pub use crate::optimize::{optimize_decaps, DecapPlan, OptimizeSettings};
     pub use crate::scenario::{DecapValue, Scenario, ScenarioBatch, ScenarioBatchError};
     pub use crate::verify;
-    pub use pdn_bem::{BemOptions, BemSystem, Testing};
+    pub use pdn_bem::{BemOptions, BemSystem, CompressionSpec, Testing};
     pub use pdn_circuit::{
         s_from_z, AcSweep, Circuit, CoupledLineModel, Integration, TransientSpec, Waveform,
     };

@@ -1,6 +1,6 @@
 //! The distributed R–L‖C equivalent circuit (paper Figure 2, eqs. 20–27).
 
-use crate::reduce::kron_reduce;
+use crate::reduce::{kron_reduce, kron_reduce_blocks};
 use pdn_bem::BemSystem;
 use pdn_circuit::{Circuit, NodeId};
 use pdn_num::rational::{self, SweepAccuracy, SweepError, SweepOutcome};
@@ -229,6 +229,13 @@ impl EquivalentCircuit {
         keep.sort_unstable();
         keep.dedup();
 
+        // Compressed kernels: B, G, and C are assembled block-wise with
+        // iterative solves on the compressed operators — the dense
+        // factorizations below would densify the kernels.
+        if sys.is_compressed() {
+            return Self::from_bem_compressed(sys, &keep);
+        }
+
         // Full-grid B = AᵀL⁻¹A via Cholesky of L (SPD).
         let ch = CholeskyDecomposition::new(sys.inductance())
             .map_err(|e| ExtractCircuitError::NumericalBreakdown(format!("L not SPD: {e}")))?;
@@ -287,27 +294,7 @@ impl EquivalentCircuit {
         // through the tiny link inductance, so their charge must aggregate
         // onto that node. (Kron on C would leave them floating and lose
         // most of the plate capacitance.) Clusters never cross nets.
-        let cluster: Vec<usize> = (0..n)
-            .map(|i| {
-                let ci = mesh.cell_center(i);
-                let net = mesh.cell_net(i);
-                keep.iter()
-                    .enumerate()
-                    .filter(|&(_, &kcell)| mesh.cell_net(kcell) == net)
-                    .min_by(|a, b| {
-                        let da = mesh.cell_center(*a.1).distance_sq(ci);
-                        let db = mesh.cell_center(*b.1).distance_sq(ci);
-                        da.partial_cmp(&db).expect("finite distances")
-                    })
-                    .map(|(pos, _)| pos)
-                    .unwrap_or(usize::MAX)
-            })
-            .collect();
-        if cluster.contains(&usize::MAX) {
-            return Err(ExtractCircuitError::NumericalBreakdown(
-                "a net has no retained node for capacitance aggregation".into(),
-            ));
-        }
+        let cluster = capacitance_clusters(mesh, &keep)?;
         let c_full = sys.capacitance();
         let mut c = Matrix::zeros(keep.len(), keep.len());
         for i in 0..n {
@@ -316,17 +303,7 @@ impl EquivalentCircuit {
             }
         }
 
-        // Node names and port mapping.
-        let mut names = Vec::with_capacity(keep.len());
-        let pos_of = |cell: usize| keep.binary_search(&cell).expect("kept cell");
-        for &cell in &keep {
-            if let Some(p) = mesh.ports().iter().find(|p| p.cell == cell) {
-                names.push(p.name.clone());
-            } else {
-                names.push(format!("n{cell}"));
-            }
-        }
-        let ports = port_cells.iter().map(|&c| pos_of(c)).collect();
+        let (names, ports) = node_names_and_ports(mesh, &keep);
         Ok((
             EquivalentCircuit {
                 names,
@@ -337,6 +314,211 @@ impl EquivalentCircuit {
                 tan_d: sys.pair().loss_tangent,
             },
             keep,
+        ))
+    }
+
+    /// The compressed-kernel extraction path: `B`, `G`, and `C` are
+    /// assembled directly in kept/eliminated block form — the full cell
+    /// grid matrices are never materialized — with CG solves on the
+    /// compressed `L` and `P` operators standing in for the dense
+    /// Cholesky/LU factorizations, then reduced by
+    /// [`kron_reduce_blocks`].
+    ///
+    /// Columns are fanned across [`pdn_num::parallel`] workers in fixed
+    /// index order and each CG solve is serial, so the result is
+    /// bit-identical for any `PDN_THREADS`.
+    fn from_bem_compressed(
+        sys: &BemSystem,
+        keep: &[usize],
+    ) -> Result<(Self, Vec<usize>), ExtractCircuitError> {
+        let ck = sys.compressed().expect("compressed extraction path");
+        let mesh = sys.mesh();
+        let n = mesh.cell_count();
+        let links = mesh.links();
+        let m = links.len();
+        let k = keep.len();
+        // CG two decades tighter than the certified kernel tolerance:
+        // iteration error stays negligible against the compression error.
+        let cg_tol = (ck.spec.tol * 1e-2).max(1e-14);
+        let max_iter_l = 10 * m.max(10) + 100;
+        let max_iter_p = 10 * n.max(10) + 100;
+        let breakdown =
+            |e: pdn_bem::AssembleBemError| ExtractCircuitError::NumericalBreakdown(e.to_string());
+
+        // Kept/eliminated index maps.
+        let mut kept_pos = vec![usize::MAX; n];
+        for (p, &cell) in keep.iter().enumerate() {
+            kept_pos[cell] = p;
+        }
+        let elim: Vec<usize> = (0..n).filter(|&i| kept_pos[i] == usize::MAX).collect();
+        let mut elim_pos = vec![usize::MAX; n];
+        for (p, &cell) in elim.iter().enumerate() {
+            elim_pos[cell] = p;
+        }
+        let e = elim.len();
+
+        // --- B = AᵀL⁻¹A, directly in block form -------------------------
+        // One compressed-L CG solve per cell column; each column of B is
+        // scattered straight into the kept/eliminated blocks, so peak
+        // storage is K² + K·E + E² + E·K ≈ n² at worst but without the
+        // full matrix *plus* its four submatrix copies the dense
+        // kron_reduce would hold. Columns run in batches to bound the
+        // in-flight column memory; batch boundaries only group work, so
+        // the per-column results (and the blocks) are thread-invariant.
+        let mut b_kk = Matrix::zeros(k, k);
+        let mut b_ke = Matrix::zeros(k, e);
+        let mut b_ek = Matrix::zeros(e, k);
+        let mut b_ee = Matrix::zeros(e, e);
+        let batch = (pdn_num::parallel::worker_count() * 4).max(16);
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + batch).min(n);
+            let cols: Vec<Vec<f64>> = pdn_num::parallel::try_par_map_indexed(j1 - j0, |t| {
+                let j = j0 + t;
+                let mut a_col = vec![0.0; m];
+                for (l, link) in links.iter().enumerate() {
+                    if link.a == j {
+                        a_col[l] += 1.0;
+                    }
+                    if link.b == j {
+                        a_col[l] -= 1.0;
+                    }
+                }
+                let x = ck.l.solve(&a_col, cg_tol, max_iter_l).map_err(breakdown)?;
+                let mut y = vec![0.0; n];
+                for (l, link) in links.iter().enumerate() {
+                    y[link.a] += x[l];
+                    y[link.b] -= x[l];
+                }
+                Ok(y)
+            })?;
+            for (t, y) in cols.iter().enumerate() {
+                let j = j0 + t;
+                let jk = kept_pos[j];
+                for (i, &v) in y.iter().enumerate() {
+                    match (kept_pos[i], jk) {
+                        (ik, jk) if ik != usize::MAX && jk != usize::MAX => b_kk[(ik, jk)] = v,
+                        (ik, jk) if ik != usize::MAX => {
+                            debug_assert_eq!(jk, usize::MAX);
+                            b_ke[(ik, elim_pos[j])] = v;
+                        }
+                        (_, jk) if jk != usize::MAX => b_ek[(elim_pos[i], jk)] = v,
+                        _ => b_ee[(elim_pos[i], elim_pos[j])] = v,
+                    }
+                }
+            }
+            j0 = j1;
+        }
+        // B is symmetric up to the CG tolerance; symmetrize
+        // deterministically before the Schur reduction assumes it.
+        for a in 0..k {
+            for bcol in (a + 1)..k {
+                let v = 0.5 * (b_kk[(a, bcol)] + b_kk[(bcol, a)]);
+                b_kk[(a, bcol)] = v;
+                b_kk[(bcol, a)] = v;
+            }
+        }
+        for a in 0..e {
+            for bcol in (a + 1)..e {
+                let v = 0.5 * (b_ee[(a, bcol)] + b_ee[(bcol, a)]);
+                b_ee[(a, bcol)] = v;
+                b_ee[(bcol, a)] = v;
+            }
+        }
+        for a in 0..k {
+            for bcol in 0..e {
+                b_ke[(a, bcol)] = 0.5 * (b_ke[(a, bcol)] + b_ek[(bcol, a)]);
+            }
+        }
+        drop(b_ek);
+        let b = kron_reduce_blocks(&b_kk, &b_ke, b_ee).map_err(|err| {
+            ExtractCircuitError::NumericalBreakdown(format!(
+                "Kron reduction of B failed: {err} (does every net keep at least one node?)"
+            ))
+        })?;
+        drop(b_kk);
+        drop(b_ke);
+
+        // --- G: the DC Laplacian is sparse — stamp blocks directly ------
+        let mut g_kk = Matrix::zeros(k, k);
+        let mut g_ke = Matrix::zeros(k, e);
+        let mut g_ee = Matrix::zeros(e, e);
+        let mut has_g = false;
+        {
+            let mut stamp = |i: usize, j: usize, v: f64| {
+                match (kept_pos[i], kept_pos[j]) {
+                    (ik, jk) if ik != usize::MAX && jk != usize::MAX => g_kk[(ik, jk)] += v,
+                    (ik, _) if ik != usize::MAX => g_ke[(ik, elim_pos[j])] += v,
+                    (_, jk) if jk != usize::MAX => {} // transpose of a (keep, elim) stamp
+                    _ => g_ee[(elim_pos[i], elim_pos[j])] += v,
+                }
+            };
+            for (l, link) in links.iter().enumerate() {
+                let r = sys.link_resistances()[l];
+                if r > 0.0 {
+                    has_g = true;
+                    let g = 1.0 / r;
+                    stamp(link.a, link.a, g);
+                    stamp(link.b, link.b, g);
+                    stamp(link.a, link.b, -g);
+                    stamp(link.b, link.a, -g);
+                }
+            }
+        }
+        let g = if has_g {
+            kron_reduce_blocks(&g_kk, &g_ke, g_ee).map_err(|err| {
+                ExtractCircuitError::NumericalBreakdown(format!(
+                    "Kron reduction of G failed: {err} (does every net keep at least one node?)"
+                ))
+            })?
+        } else {
+            Matrix::zeros(k, k)
+        };
+
+        // --- C = Sᵀ P⁻¹ S with S the cluster indicator matrix -----------
+        // Identical aggregation to the dense path (C summed over nearest-
+        // retained-node clusters), computed as one compressed-P CG solve
+        // per retained node instead of inverting P.
+        let cluster = capacitance_clusters(mesh, keep)?;
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &cl) in cluster.iter().enumerate() {
+            members[cl].push(i);
+        }
+        let c_cols: Vec<Vec<f64>> = pdn_num::parallel::try_par_map_indexed(k, |q| {
+            let mut s = vec![0.0; n];
+            for &i in &members[q] {
+                s[i] = 1.0;
+            }
+            let z = ck.p.solve(&s, cg_tol, max_iter_p).map_err(breakdown)?;
+            Ok((0..k)
+                .map(|r| members[r].iter().map(|&i| z[i]).sum::<f64>())
+                .collect())
+        })?;
+        let mut c = Matrix::zeros(k, k);
+        for (q, col) in c_cols.iter().enumerate() {
+            for r in 0..k {
+                c[(r, q)] = col[r];
+            }
+        }
+        for a in 0..k {
+            for bcol in (a + 1)..k {
+                let v = 0.5 * (c[(a, bcol)] + c[(bcol, a)]);
+                c[(a, bcol)] = v;
+                c[(bcol, a)] = v;
+            }
+        }
+
+        let (names, ports) = node_names_and_ports(mesh, keep);
+        Ok((
+            EquivalentCircuit {
+                names,
+                ports,
+                b,
+                g,
+                c,
+                tan_d: sys.pair().loss_tangent,
+            },
+            keep.to_vec(),
         ))
     }
 
@@ -915,6 +1097,55 @@ impl EquivalentCircuit {
     }
 }
 
+/// Maps every cell onto the nearest retained cell *of the same net* —
+/// the aggregation clusters used to condense the capacitance matrix.
+/// Shared by the dense and compressed extraction paths so both produce
+/// the identical node grouping.
+fn capacitance_clusters(
+    mesh: &pdn_geom::PlaneMesh,
+    keep: &[usize],
+) -> Result<Vec<usize>, ExtractCircuitError> {
+    let n = mesh.cell_count();
+    let cluster: Vec<usize> = (0..n)
+        .map(|i| {
+            let ci = mesh.cell_center(i);
+            let net = mesh.cell_net(i);
+            keep.iter()
+                .enumerate()
+                .filter(|&(_, &kcell)| mesh.cell_net(kcell) == net)
+                .min_by(|a, b| {
+                    let da = mesh.cell_center(*a.1).distance_sq(ci);
+                    let db = mesh.cell_center(*b.1).distance_sq(ci);
+                    da.partial_cmp(&db).expect("finite distances")
+                })
+                .map(|(pos, _)| pos)
+                .unwrap_or(usize::MAX)
+        })
+        .collect();
+    if cluster.contains(&usize::MAX) {
+        return Err(ExtractCircuitError::NumericalBreakdown(
+            "a net has no retained node for capacitance aggregation".into(),
+        ));
+    }
+    Ok(cluster)
+}
+
+/// Equivalent-circuit node names (port names where bound, `n{cell}`
+/// otherwise) and port→node index mapping for a kept cell set.
+fn node_names_and_ports(mesh: &pdn_geom::PlaneMesh, keep: &[usize]) -> (Vec<String>, Vec<usize>) {
+    let mut names = Vec::with_capacity(keep.len());
+    let pos_of = |cell: usize| keep.binary_search(&cell).expect("kept cell");
+    for &cell in keep {
+        if let Some(p) = mesh.ports().iter().find(|p| p.cell == cell) {
+            names.push(p.name.clone());
+        } else {
+            names.push(format!("n{cell}"));
+        }
+    }
+    let ports = mesh.ports().iter().map(|p| pos_of(p.cell)).collect();
+    (names, ports)
+}
+
 /// Spreads `count` equivalent-circuit retained nodes across a mesh —
 /// convenience for choosing a stride producing roughly `count` nodes.
 pub fn stride_for_node_budget(mesh: &pdn_geom::PlaneMesh, count: usize) -> usize {
@@ -1025,6 +1256,68 @@ mod tests {
         assert!(
             (d1.inverse_inductance - d2.inverse_inductance).abs() < 1e-6 * d1.inverse_inductance
         );
+    }
+
+    #[test]
+    fn compressed_extraction_matches_dense() {
+        // Same mesh and surface impedance through both kernel paths; the
+        // macromodels must agree to the compression tolerance (scaled per
+        // matrix, since B, G, and C live on wildly different scales).
+        let build = |spec: Option<pdn_bem::CompressionSpec>| {
+            let mut mesh =
+                PlaneMesh::build(&Polygon::rectangle(mm(24.0), mm(12.0)), mm(1.0)).unwrap();
+            mesh.bind_port("P1", Point::new(mm(3.0), mm(6.0))).unwrap();
+            mesh.bind_port("P2", Point::new(mm(21.0), mm(6.0))).unwrap();
+            let pair = PlanePair::new(0.3e-3, 4.2).unwrap();
+            let zs = SurfaceImpedance::from_sheet_resistance(5e-3);
+            let opts = BemOptions {
+                compression: spec,
+                ..BemOptions::default()
+            };
+            BemSystem::assemble(mesh, &pair, &zs, &opts).unwrap()
+        };
+        let spec = pdn_bem::CompressionSpec {
+            leaf_size: 16,
+            ..pdn_bem::CompressionSpec::default()
+        };
+        let dense = build(None);
+        let compressed = build(Some(spec));
+        assert!(compressed.is_compressed());
+        let sel = NodeSelection::PortsAndGrid { stride: 3 };
+        let (eq_d, keep_d) = EquivalentCircuit::from_bem_detailed(&dense, &sel).unwrap();
+        let (eq_c, keep_c) = EquivalentCircuit::from_bem_detailed(&compressed, &sel).unwrap();
+        assert_eq!(keep_d, keep_c);
+        assert_eq!(eq_d.names, eq_c.names);
+        assert_eq!(eq_d.ports, eq_c.ports);
+        let close = |a: &Matrix<f64>, b: &Matrix<f64>, what: &str| {
+            let scale = a.max_abs().max(1e-300);
+            for i in 0..a.nrows() {
+                for j in 0..a.ncols() {
+                    let d = (a[(i, j)] - b[(i, j)]).abs();
+                    assert!(
+                        d <= 1e-4 * scale,
+                        "{what}({i},{j}): dense {} vs compressed {} (rel {:.3e})",
+                        a[(i, j)],
+                        b[(i, j)],
+                        d / scale
+                    );
+                }
+            }
+        };
+        close(&eq_d.b, &eq_c.b, "B");
+        close(&eq_d.g, &eq_c.g, "G");
+        close(&eq_d.c, &eq_c.c, "C");
+        // End-to-end: port impedances from both macromodels agree.
+        for &f in &[1e8, 1e9, 4e9] {
+            let zd = eq_d.impedance(f).unwrap();
+            let zc = eq_c.impedance(f).unwrap();
+            let scale = zd.max_abs();
+            for i in 0..zd.nrows() {
+                for j in 0..zd.ncols() {
+                    assert!((zd[(i, j)] - zc[(i, j)]).norm() <= 1e-4 * scale);
+                }
+            }
+        }
     }
 
     #[test]

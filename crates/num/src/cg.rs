@@ -79,17 +79,38 @@ pub fn solve_spd(
     if !a.is_square() || a.nrows() != b.len() {
         return Err(IterativeSolveError::BadShape);
     }
-    let n = b.len();
+    let diag: Vec<f64> = (0..b.len()).map(|i| a[(i, i)]).collect();
+    solve_spd_op(b.len(), &|x| a.matvec(x), &diag, b, tol, max_iter)
+}
+
+/// Operator form of [`solve_spd`]: solves `A·x = b` given only the
+/// matrix-vector product `apply` and the diagonal of `A` (for the Jacobi
+/// preconditioner). This is the entry point for compressed or otherwise
+/// implicitly represented SPD operators where `A` is never densified.
+///
+/// Stops when the residual 2-norm falls below `tol · ‖b‖` or after
+/// `max_iter` iterations. Identical arithmetic to [`solve_spd`], so the
+/// two agree bit-for-bit on the same operator.
+///
+/// # Errors
+///
+/// Returns [`IterativeSolveError`] on shape mismatch, non-convergence, or
+/// an indefinite operator.
+pub fn solve_spd_op(
+    n: usize,
+    apply: &dyn Fn(&[f64]) -> Vector<f64>,
+    diag: &[f64],
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<Vector<f64>, IterativeSolveError> {
+    if diag.len() != n || b.len() != n {
+        return Err(IterativeSolveError::BadShape);
+    }
     // Jacobi preconditioner M⁻¹ = diag(A)⁻¹.
-    let m_inv: Vec<f64> = (0..n)
-        .map(|i| {
-            let d = a[(i, i)];
-            if d > 0.0 {
-                1.0 / d
-            } else {
-                1.0
-            }
-        })
+    let m_inv: Vec<f64> = diag
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d } else { 1.0 })
         .collect();
     let b_norm = b.iter().map(|x| x * x).sum::<f64>().sqrt();
     if b_norm == 0.0 {
@@ -101,7 +122,10 @@ pub fn solve_spd(
     let mut p = z.clone();
     let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
     for it in 0..max_iter {
-        let ap = a.matvec(&p);
+        let ap = apply(&p);
+        if ap.len() != n {
+            return Err(IterativeSolveError::BadShape);
+        }
         let p_ap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
         if p_ap <= 0.0 {
             return Err(IterativeSolveError::Breakdown);
@@ -212,6 +236,30 @@ mod tests {
         let a = spd(3);
         assert_eq!(
             solve_spd(&a, &[1.0, 2.0], 1e-9, 10).unwrap_err(),
+            IterativeSolveError::BadShape
+        );
+    }
+
+    #[test]
+    fn operator_form_is_bit_identical_to_matrix_form() {
+        let a = spd(24);
+        let b: Vec<f64> = (0..24).map(|i| (i as f64 * 0.61).cos()).collect();
+        let x_mat = solve_spd(&a, &b, 1e-12, 500).unwrap();
+        let diag: Vec<f64> = (0..24).map(|i| a[(i, i)]).collect();
+        let x_op = solve_spd_op(24, &|v| a.matvec(v), &diag, &b, 1e-12, 500).unwrap();
+        for i in 0..24 {
+            assert_eq!(x_mat[i].to_bits(), x_op[i].to_bits(), "entry {i}");
+        }
+    }
+
+    #[test]
+    fn operator_form_rejects_shape_mismatch() {
+        assert_eq!(
+            solve_spd_op(3, &|v| v.to_vec(), &[1.0, 1.0], &[1.0; 3], 1e-9, 10).unwrap_err(),
+            IterativeSolveError::BadShape
+        );
+        assert_eq!(
+            solve_spd_op(3, &|_| vec![0.0; 2], &[1.0; 3], &[1.0; 3], 1e-9, 10).unwrap_err(),
             IterativeSolveError::BadShape
         );
     }

@@ -26,6 +26,7 @@
 //! # }
 //! ```
 
+pub mod aca;
 pub mod cg;
 pub mod cholesky;
 pub mod complex;
@@ -40,6 +41,7 @@ pub mod quadrature;
 pub mod rational;
 pub mod scalar;
 
+pub use aca::LowRank;
 pub use cholesky::CholeskyDecomposition;
 pub use complex::c64;
 pub use eigen::{

@@ -1,0 +1,65 @@
+//! Helpers shared across the integration-test binaries: the serialized
+//! `PDN_THREADS` harness and the HP test-plane (paper Figure 6/7)
+//! builders that several suites previously each carried a copy of.
+//!
+//! Each test binary compiles its own copy via `mod common;`, so the
+//! mutex still serializes within one binary — exactly the scope that
+//! matters, since the default harness runs `#[test]`s concurrently in
+//! one process while cargo runs test binaries one at a time.
+#![allow(dead_code)]
+
+use pdn::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes every test that touches the process-global `PDN_THREADS`.
+pub static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `body` once per thread count in {1, 2, available_parallelism},
+/// restoring the prior `PDN_THREADS` afterwards (the harness runs tests
+/// concurrently in one process, so the env var is serialized).
+pub fn with_thread_counts(mut body: impl FnMut(usize)) {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let prior = std::env::var("PDN_THREADS").ok();
+    let avail = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut counts = vec![1usize, 2, avail];
+    counts.dedup();
+    for n in counts {
+        std::env::set_var("PDN_THREADS", n.to_string());
+        assert_eq!(pdn_num::parallel::worker_count(), n);
+        body(n);
+    }
+    match prior {
+        Some(v) => std::env::set_var("PDN_THREADS", v),
+        None => std::env::remove_var("PDN_THREADS"),
+    }
+}
+
+/// The Figure 7/8 structure: the HP test plane at test-runtime mesh
+/// density (2 mm cells; `pdn_core::boards::hp_test_plane` is the same
+/// plane at its published 1 mm density).
+pub fn hp_plane_coarse() -> PlaneSpec {
+    let mut spec = PlaneSpec::rectangle(mm(40.0), mm(16.0), 280e-6, 9.6)
+        .expect("valid pair")
+        .with_sheet_resistance(6e-3)
+        .with_cell_size(mm(2.0));
+    for k in 0..5 {
+        spec = spec.with_port(format!("P{}", k + 1), mm(4.0 + 8.0 * k as f64), mm(8.0));
+    }
+    spec
+}
+
+/// A board on the HP test-plane outline (Figure 6 geometry: 40 × 16 mm
+/// ceramic plane pair, 280 µm apart, εr 9.6) with the supply and two
+/// chips sitting on the figure's P1/P3/P5 pad positions. First plane
+/// resonance ≈ 1.2 GHz. The cell size is a parameter: coarse meshes
+/// suit monolithic equivalence checks, while sharded strategies need
+/// the seam strip to be a small fraction of the plane.
+pub fn hp_board(cell: f64) -> BoardSpec {
+    let plane = PlaneSpec::rectangle(mm(40.0), mm(16.0), um(280.0), 9.6)
+        .unwrap()
+        .with_sheet_resistance(6e-3)
+        .with_cell_size(cell);
+    BoardSpec::new(plane, 3.3, Point::new(mm(4.0), mm(8.0)))
+        .with_chip(ChipSpec::cmos("U1", Point::new(mm(20.0), mm(8.0)), 2))
+        .with_chip(ChipSpec::cmos("U2", Point::new(mm(36.0), mm(8.0)), 2))
+}

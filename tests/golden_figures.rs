@@ -23,23 +23,13 @@ use pdn::prelude::*;
 use pdn_circuit::Waveform;
 use std::fmt::Write as _;
 
+mod common;
+use common::hp_plane_coarse;
+
 /// Absolute tolerance on |S21| golden values (dB).
 const TOL_DB: f64 = 1e-6;
 /// Absolute tolerance on transient golden samples (V).
 const TOL_V: f64 = 1e-6;
-
-/// The Figure 7/8 structure: the HP test plane at test-runtime mesh
-/// density (same spec as `paper_experiments.rs` uses).
-fn hp_plane_coarse() -> PlaneSpec {
-    let mut spec = PlaneSpec::rectangle(mm(40.0), mm(16.0), 280e-6, 9.6)
-        .expect("valid pair")
-        .with_sheet_resistance(6e-3)
-        .with_cell_size(mm(2.0));
-    for k in 0..5 {
-        spec = spec.with_port(format!("P{}", k + 1), mm(4.0 + 8.0 * k as f64), mm(8.0));
-    }
-    spec
-}
 
 fn fig7_freqs() -> Vec<f64> {
     (1..=20).map(|k| k as f64 * 0.25e9).collect()
@@ -143,6 +133,77 @@ fn fig7_rational_sweep_matches_golden_with_few_anchors() {
             row[0],
             row[1]
         );
+    }
+}
+
+#[test]
+fn fig7_compressed_path_matches_golden() {
+    // The same Figure 7 curve routed through the ACA-compressed kernels
+    // and the iterative extraction path. The compressed kernels are
+    // certified to `tol = 1e-6` relative, which propagates to well under
+    // 1e-4 dB on |S21| here; `TOL_DB_COMPRESSED` carries an order of
+    // magnitude of margin on the measured drift.
+    const TOL_DB_COMPRESSED: f64 = 1e-3;
+    let golden = parse_golden(include_str!("golden/fig7_s21.csv"), 2);
+    let extracted = hp_plane_coarse()
+        .with_compression(CompressionSpec::with_tol(1e-6))
+        .extract(&NodeSelection::PortsAndGrid { stride: 2 })
+        .expect("extractable");
+    assert!(extracted.bem().is_compressed());
+    let freqs = fig7_freqs();
+    let s21 = verify::circuit_s21_db(extracted.equivalent(), 0, 1, &freqs, 50.0).expect("solvable");
+    assert_eq!(s21.len(), golden.len(), "point count");
+    for ((f, db), row) in freqs.iter().zip(&s21).zip(&golden) {
+        assert_eq!(*f, row[0], "frequency grid is part of the contract");
+        assert!(
+            (db - row[1]).abs() <= TOL_DB_COMPRESSED,
+            "compressed |S21| at {f:.3e} Hz drifted: {db:.12} dB vs golden {:.12} dB",
+            row[1]
+        );
+    }
+}
+
+#[test]
+fn fig7_inadmissible_plan_assembles_bit_identical_kernels() {
+    // With a leaf size swallowing the whole Figure 7 plane, the cluster
+    // tree is a single leaf, no block is admissible, and the "compressed"
+    // kernels must be the dense kernels bit for bit — compression only
+    // ever replaces far-field blocks it certifies, never near-field
+    // arithmetic.
+    let spec = hp_plane_coarse();
+    let mut mesh = PlaneMesh::build(&Polygon::rectangle(mm(40.0), mm(16.0)), mm(2.0)).unwrap();
+    for (name, at) in spec.ports() {
+        mesh.bind_port(name.clone(), *at).unwrap();
+    }
+    let pair = PlanePair::new(280e-6, 9.6).unwrap();
+    let zs = SurfaceImpedance::from_sheet_resistance(2.0 * 6e-3);
+    let opts = BemOptions::default();
+    let raw = pdn::bem::assemble_matrices(&mesh, &pair, &zs, &opts).unwrap();
+    let big_leaf = CompressionSpec {
+        leaf_size: 4096,
+        ..CompressionSpec::default()
+    };
+    let (ck, _) = pdn::bem::assemble_compressed(&mesh, &pair, &zs, &opts, &big_leaf).unwrap();
+    assert_eq!(
+        ck.p.stats().low_rank_blocks,
+        0,
+        "single-leaf plan has no far field"
+    );
+    let p = ck.p.to_dense();
+    for i in 0..mesh.cell_count() {
+        for j in 0..mesh.cell_count() {
+            assert_eq!(
+                p[(i, j)].to_bits(),
+                raw.p_coef[(i, j)].to_bits(),
+                "P({i},{j})"
+            );
+        }
+    }
+    let l = ck.l.to_dense();
+    for i in 0..mesh.link_count() {
+        for j in 0..mesh.link_count() {
+            assert_eq!(l[(i, j)].to_bits(), raw.l[(i, j)].to_bits(), "L({i},{j})");
+        }
     }
 }
 

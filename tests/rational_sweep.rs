@@ -16,29 +16,11 @@ use pdn::prelude::*;
 use pdn_circuit::NodeId;
 use pdn_num::{c64, Matrix};
 use proptest::prelude::*;
-use std::sync::Mutex;
 
-static ENV_LOCK: Mutex<()> = Mutex::new(());
+mod common;
+use common::with_thread_counts;
 
 const RATIONAL: SweepAccuracy = SweepAccuracy::Rational { rel_tol: 1e-8 };
-
-/// Runs `body` once per thread count in {1, 2, available_parallelism},
-/// restoring the prior `PDN_THREADS` afterwards.
-fn with_thread_counts(mut body: impl FnMut(usize)) {
-    let _guard = ENV_LOCK.lock().unwrap();
-    let prior = std::env::var("PDN_THREADS").ok();
-    let avail = std::thread::available_parallelism().map_or(1, usize::from);
-    let mut counts = vec![1usize, 2, avail];
-    counts.dedup();
-    for n in counts {
-        std::env::set_var("PDN_THREADS", n.to_string());
-        body(n);
-    }
-    match prior {
-        Some(v) => std::env::set_var("PDN_THREADS", v),
-        None => std::env::remove_var("PDN_THREADS"),
-    }
-}
 
 /// An RLC ladder driven from a port node: `sections` series R–L stages,
 /// each loaded by a shunt C, terminated resistively so every impedance is

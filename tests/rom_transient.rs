@@ -15,47 +15,9 @@
 use pdn::prelude::*;
 use pdn_num::{symmetric_eigen, PromOptions};
 use proptest::prelude::*;
-use std::sync::Mutex;
 
-static ENV_LOCK: Mutex<()> = Mutex::new(());
-
-/// Runs `body` once per thread count in {1, 2, available_parallelism},
-/// restoring the prior `PDN_THREADS` afterwards (the harness runs tests
-/// concurrently in one process, so the env var is serialized).
-fn with_thread_counts(mut body: impl FnMut(usize)) {
-    let _guard = ENV_LOCK.lock().unwrap();
-    let prior = std::env::var("PDN_THREADS").ok();
-    let avail = std::thread::available_parallelism().map_or(1, usize::from);
-    let mut counts = vec![1usize, 2, avail];
-    counts.dedup();
-    for n in counts {
-        std::env::set_var("PDN_THREADS", n.to_string());
-        assert_eq!(pdn_num::parallel::worker_count(), n);
-        body(n);
-    }
-    match prior {
-        Some(v) => std::env::set_var("PDN_THREADS", v),
-        None => std::env::remove_var("PDN_THREADS"),
-    }
-}
-
-/// A board on the HP test-plane outline (Figure 6 geometry: 40 × 16 mm
-/// ceramic plane pair, 280 µm apart, εr 9.6) with the supply and two
-/// chips sitting on the figure's P1/P3/P5 pad positions. First plane
-/// resonance ≈ 1.2 GHz, well inside the ROM band. The cell size is a
-/// parameter: the ROM is fit against whatever the mesh produces, so the
-/// monolithic equivalence check can run at a coarse 2 mm, but the
-/// sharded strategy needs the seam strip to be a small fraction of the
-/// plane and gets a finer mesh.
-fn hp_board(cell: f64) -> BoardSpec {
-    let plane = PlaneSpec::rectangle(mm(40.0), mm(16.0), um(280.0), 9.6)
-        .unwrap()
-        .with_sheet_resistance(6e-3)
-        .with_cell_size(cell);
-    BoardSpec::new(plane, 3.3, Point::new(mm(4.0), mm(8.0)))
-        .with_chip(ChipSpec::cmos("U1", Point::new(mm(20.0), mm(8.0)), 2))
-        .with_chip(ChipSpec::cmos("U2", Point::new(mm(36.0), mm(8.0)), 2))
-}
+mod common;
+use common::{hp_board, with_thread_counts};
 
 fn rom_spec() -> RomSpec {
     RomSpec {

@@ -15,29 +15,9 @@ use pdn::prelude::*;
 use pdn_num::c64;
 use pdn_shard::max_port_impedance_deviation;
 use proptest::prelude::*;
-use std::sync::Mutex;
 
-static ENV_LOCK: Mutex<()> = Mutex::new(());
-
-/// Runs `body` once per thread count in {1, 2, available_parallelism},
-/// restoring the prior `PDN_THREADS` afterwards (the harness runs tests
-/// concurrently in one process, so the env var is serialized).
-fn with_thread_counts(mut body: impl FnMut(usize)) {
-    let _guard = ENV_LOCK.lock().unwrap();
-    let prior = std::env::var("PDN_THREADS").ok();
-    let avail = std::thread::available_parallelism().map_or(1, usize::from);
-    let mut counts = vec![1usize, 2, avail];
-    counts.dedup();
-    for n in counts {
-        std::env::set_var("PDN_THREADS", n.to_string());
-        assert_eq!(pdn_num::parallel::worker_count(), n);
-        body(n);
-    }
-    match prior {
-        Some(v) => std::env::set_var("PDN_THREADS", v),
-        None => std::env::remove_var("PDN_THREADS"),
-    }
-}
+mod common;
+use common::with_thread_counts;
 
 #[test]
 fn hp_test_plane_sharded_tracks_monolithic_golden() {
