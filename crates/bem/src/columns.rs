@@ -1,0 +1,633 @@
+//! Streamed column-panel compression of implicitly defined symmetric
+//! matrices — the extraction B-blocks.
+//!
+//! The compressed extraction path forms `B = Aᵀ·L⁻¹·A` whose entries
+//! have no cheap generator: one entry costs a full iterative solve on
+//! the compressed `L`. ACA-by-entries is therefore infeasible, but the
+//! matrix is still the discretization of a smooth (Laplacian-like)
+//! operator over node positions, so its well-separated blocks are
+//! numerically low-rank. [`CompressedColumns`] exploits that without a
+//! per-entry generator:
+//!
+//! 1. a geometric cluster tree over the node positions fixes both the
+//!    column panels (finest tree nodes at most `panel` wide) and the row
+//!    partition;
+//! 2. each column panel is **materialized once** by the caller's
+//!    generator (one block-CG solve on `L` per panel) and immediately
+//!    compressed: the row tree descends against the panel's column
+//!    node — admissible row blocks are re-factored by ACA **on the
+//!    materialized data**, near-field leaves stay dense;
+//! 3. every low-rank block is certified a posteriori against the
+//!    materialized rows with the same fixed-seed sampler used for the
+//!    kernels, failing loudly above `tol`.
+//!
+//! The working set is one `n × panel` slab at a time instead of the
+//! dense `8N²` matrix, and the stored operator supports symmetric
+//! matvecs (`0.5·(Mx + Mᵀx)` — storage covers every entry exactly once,
+//! un-mirrored) for the Schur-complement block-CG solves. Panels are
+//! processed serially in tree order and every factorization is
+//! deterministically pivoted, so the result is bit-identical for any
+//! `PDN_THREADS` (the parallelism lives inside the caller's generator,
+//! which must itself be deterministic — the block kernel solves are).
+
+use crate::assembly::AssembleBemError;
+use crate::compress::{
+    ClusterTree, CompressionSpec, CompressionStats, ACA_MARGIN, CERT_ROWS, MATVEC_CHUNK,
+    RECOMPRESS_MARGIN,
+};
+use pdn_num::aca::{aca, LowRank};
+use pdn_num::{parallel, Matrix};
+
+#[derive(Debug, Clone)]
+enum ColBlockData {
+    Dense(Matrix<f64>),
+    LowRank(LowRank),
+}
+
+#[derive(Debug, Clone)]
+struct ColBlock {
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    data: ColBlockData,
+}
+
+/// A symmetric matrix compressed from streamed column panels; see the
+/// module docs for the construction.
+#[derive(Debug, Clone)]
+pub struct CompressedColumns {
+    n: usize,
+    blocks: Vec<ColBlock>,
+    stats: CompressionStats,
+    tree: ClusterTree,
+}
+
+/// Finest tree nodes with at most `panel` members (leaves are accepted
+/// regardless of size), in left-to-right tree order.
+fn column_nodes(tree: &ClusterTree, panel: usize) -> Vec<usize> {
+    fn walk(tree: &ClusterTree, id: usize, panel: usize, out: &mut Vec<usize>) {
+        let node = &tree.nodes[id];
+        match node.children {
+            Some((l, r)) if node.len() > panel => {
+                walk(tree, l, panel, out);
+                walk(tree, r, panel, out);
+            }
+            _ => out.push(id),
+        }
+    }
+    let mut out = Vec::new();
+    if !tree.nodes.is_empty() {
+        walk(tree, 0, panel, &mut out);
+    }
+    out
+}
+
+impl CompressedColumns {
+    /// Builds the compressed matrix for the symmetric operator whose
+    /// index `i` sits at `points[i]`, materializing it one column panel
+    /// at a time through `gen`.
+    ///
+    /// `gen(cols)` must return one vector of length `points.len()` per
+    /// requested column index (the exact matrix columns, e.g. computed
+    /// by block-CG solves); panels are requested serially in a fixed
+    /// tree order.
+    ///
+    /// # Errors
+    ///
+    /// [`AssembleBemError::InvalidInput`] for an invalid `spec`,
+    /// generator errors verbatim, and
+    /// [`AssembleBemError::NumericalBreakdown`] for a mis-shaped panel
+    /// or a low-rank block that fails certification against the
+    /// materialized data.
+    pub fn build(
+        points: &[(f64, f64)],
+        spec: &CompressionSpec,
+        panel: usize,
+        gen: &mut dyn FnMut(&[usize]) -> Result<Vec<Vec<f64>>, AssembleBemError>,
+    ) -> Result<CompressedColumns, AssembleBemError> {
+        spec.validate()?;
+        let n = points.len();
+        let tree = ClusterTree::build(points, spec.leaf_size);
+        let col_nodes = column_nodes(&tree, panel.max(1));
+        let mut blocks: Vec<ColBlock> = Vec::new();
+        for &cn in &col_nodes {
+            let node = &tree.nodes[cn];
+            let cols: Vec<usize> = tree.perm[node.start..node.end].to_vec();
+            let panel_cols = gen(&cols)?;
+            if panel_cols.len() != cols.len() || panel_cols.iter().any(|c| c.len() != n) {
+                return Err(AssembleBemError::NumericalBreakdown(
+                    "column generator returned a mis-shaped panel".into(),
+                ));
+            }
+            descend_rows(&tree, spec, 0, cn, &cols, &panel_cols, &mut blocks)?;
+        }
+        let mut stats = CompressionStats {
+            blocks: blocks.len(),
+            low_rank_blocks: 0,
+            max_rank: 0,
+            stored_bytes: 0,
+            dense_bytes: 8 * n * n,
+        };
+        for b in &blocks {
+            match &b.data {
+                ColBlockData::Dense(m) => stats.stored_bytes += 8 * m.nrows() * m.ncols(),
+                ColBlockData::LowRank(lr) => {
+                    stats.low_rank_blocks += 1;
+                    stats.max_rank = stats.max_rank.max(lr.rank());
+                    stats.stored_bytes += lr.stored_bytes();
+                }
+            }
+        }
+        Ok(CompressedColumns {
+            n,
+            blocks,
+            stats,
+            tree,
+        })
+    }
+
+    /// Operator dimension.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the operator is zero-dimensional.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Block/rank/byte diagnostics.
+    pub fn stats(&self) -> CompressionStats {
+        self.stats
+    }
+
+    /// Bytes held by the compressed representation.
+    pub fn stored_bytes(&self) -> usize {
+        self.stats.stored_bytes
+    }
+
+    /// The symmetric matvec `y = 0.5·(M + Mᵀ)·x` over the stored blocks
+    /// in fixed order — the deterministic symmetrization of the
+    /// materialized columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` does not match the operator dimension.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.n];
+        for b in &self.blocks {
+            match &b.data {
+                ColBlockData::Dense(m) => {
+                    for (a, &i) in b.rows.iter().enumerate() {
+                        let mut acc = 0.0;
+                        for (c, &j) in b.cols.iter().enumerate() {
+                            acc += m[(a, c)] * x[j];
+                        }
+                        y[i] += 0.5 * acc;
+                    }
+                    for (c, &j) in b.cols.iter().enumerate() {
+                        let mut acc = 0.0;
+                        for (a, &i) in b.rows.iter().enumerate() {
+                            acc += m[(a, c)] * x[i];
+                        }
+                        y[j] += 0.5 * acc;
+                    }
+                }
+                ColBlockData::LowRank(lr) => {
+                    let xs: Vec<f64> = b.cols.iter().map(|&j| x[j]).collect();
+                    let mut ys = vec![0.0; b.rows.len()];
+                    lr.matvec_into(&xs, 0.5, &mut ys);
+                    for (a, &i) in b.rows.iter().enumerate() {
+                        y[i] += ys[a];
+                    }
+                    let xt: Vec<f64> = b.rows.iter().map(|&i| x[i]).collect();
+                    let mut yt = vec![0.0; b.cols.len()];
+                    lr.matvec_transpose_into(&xt, 0.5, &mut yt);
+                    for (c, &j) in b.cols.iter().enumerate() {
+                        y[j] += yt[c];
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Blocked symmetric matvec: fixed-width column chunks fan across
+    /// [`pdn_num::parallel`] workers in index order; within a chunk the
+    /// stored blocks stream **once**, each applied to every column from
+    /// an interleaved panel layout while its data is cache-hot. Per
+    /// column the floating-point arithmetic is exactly the serial
+    /// [`CompressedColumns::matvec`] sequence, so every result column is
+    /// bit-identical to a serial sweep for any `PDN_THREADS` (the chunk
+    /// width never depends on the worker count).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any column does not match the operator dimension.
+    pub fn matvec_block(&self, cols: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        for x in cols {
+            assert_eq!(x.len(), self.n, "matvec dimension mismatch");
+        }
+        let chunks = cols.len().div_ceil(MATVEC_CHUNK);
+        let outs = parallel::par_map_indexed(chunks, |c| {
+            let lo = c * MATVEC_CHUNK;
+            let hi = (lo + MATVEC_CHUNK).min(cols.len());
+            self.matvec_panel(&cols[lo..hi])
+        });
+        outs.into_iter().flatten().collect()
+    }
+
+    /// One blocked symmetric sweep over a chunk in interleaved panel
+    /// layout (`x[j·w + q]` is column `q`'s entry `j`); see
+    /// [`CompressedColumns::matvec_block`] for the contract.
+    fn matvec_panel(&self, cols: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        // Constant panel stride with zero-held tail lanes, as in
+        // `CompressedKernel::matvec_panel`: every inner loop runs
+        // `MATVEC_CHUNK` independent lanes at a compile-time trip
+        // count, which vectorizes without touching any per-column
+        // accumulation order.
+        const W: usize = MATVEC_CHUNK;
+        let w = cols.len();
+        debug_assert!(w <= W);
+        let mut xp = vec![0.0; self.n * W];
+        for (q, x) in cols.iter().enumerate() {
+            for (j, &v) in x.iter().enumerate() {
+                xp[j * W + q] = v;
+            }
+        }
+        let mut yp = vec![0.0; self.n * W];
+        let mut acc = [0.0f64; W];
+        let mut scratch = Vec::new();
+        for b in &self.blocks {
+            match &b.data {
+                ColBlockData::Dense(m) => {
+                    for (a, &i) in b.rows.iter().enumerate() {
+                        acc.fill(0.0);
+                        for (c, &j) in b.cols.iter().enumerate() {
+                            let mv = m[(a, c)];
+                            for (aq, xq) in acc.iter_mut().zip(&xp[j * W..(j + 1) * W]) {
+                                *aq += mv * xq;
+                            }
+                        }
+                        for (yq, aq) in yp[i * W..(i + 1) * W].iter_mut().zip(&acc) {
+                            *yq += 0.5 * aq;
+                        }
+                    }
+                    for (c, &j) in b.cols.iter().enumerate() {
+                        acc.fill(0.0);
+                        for (a, &i) in b.rows.iter().enumerate() {
+                            let mv = m[(a, c)];
+                            for (aq, xq) in acc.iter_mut().zip(&xp[i * W..(i + 1) * W]) {
+                                *aq += mv * xq;
+                            }
+                        }
+                        for (yq, aq) in yp[j * W..(j + 1) * W].iter_mut().zip(&acc) {
+                            *yq += 0.5 * aq;
+                        }
+                    }
+                }
+                ColBlockData::LowRank(lr) => {
+                    let (nr, nc) = (b.rows.len(), b.cols.len());
+                    scratch.clear();
+                    scratch.resize(2 * (nr + nc) * W, 0.0);
+                    let (xs, rest) = scratch.split_at_mut(nc * W);
+                    let (yr, rest) = rest.split_at_mut(nr * W);
+                    let (xt, yt) = rest.split_at_mut(nr * W);
+                    for (c, &j) in b.cols.iter().enumerate() {
+                        xs[c * W..(c + 1) * W].copy_from_slice(&xp[j * W..(j + 1) * W]);
+                    }
+                    lr.matvec_panel_into(xs, W, 0.5, yr);
+                    for (a, &i) in b.rows.iter().enumerate() {
+                        for (yq, vq) in yp[i * W..(i + 1) * W]
+                            .iter_mut()
+                            .zip(&yr[a * W..(a + 1) * W])
+                        {
+                            *yq += vq;
+                        }
+                    }
+                    for (a, &i) in b.rows.iter().enumerate() {
+                        xt[a * W..(a + 1) * W].copy_from_slice(&xp[i * W..(i + 1) * W]);
+                    }
+                    lr.matvec_transpose_panel_into(xt, W, 0.5, yt);
+                    for (c, &j) in b.cols.iter().enumerate() {
+                        for (yq, vq) in yp[j * W..(j + 1) * W]
+                            .iter_mut()
+                            .zip(&yt[c * W..(c + 1) * W])
+                        {
+                            *yq += vq;
+                        }
+                    }
+                }
+            }
+        }
+        (0..w)
+            .map(|q| (0..self.n).map(|i| yp[i * W + q]).collect())
+            .collect()
+    }
+
+    /// The disjoint cluster partition for block-Jacobi preconditioning
+    /// (tree leaves, or — `coarsen`ed — the maximal tree nodes of at
+    /// most 8× the leaf size).
+    pub fn leaf_clusters(&self, coarsen: bool) -> Vec<Vec<usize>> {
+        self.tree.clusters(coarsen)
+    }
+
+    /// Materializes the symmetrized dense restrictions
+    /// `0.5·(M + Mᵀ)[c, c]` for every cluster of a disjoint partition in
+    /// one pass over the stored blocks — the preconditioner sub-blocks
+    /// for Schur-complement solves (callers stamp any sparse additions,
+    /// e.g. conductance, before factoring).
+    pub fn cluster_restrictions(&self, clusters: &[Vec<usize>]) -> Vec<Matrix<f64>> {
+        let mut of: Vec<Option<(usize, usize)>> = vec![None; self.n];
+        for (ci, cl) in clusters.iter().enumerate() {
+            for (k, &i) in cl.iter().enumerate() {
+                of[i] = Some((ci, k));
+            }
+        }
+        let mut mats: Vec<Matrix<f64>> = clusters
+            .iter()
+            .map(|c| Matrix::zeros(c.len(), c.len()))
+            .collect();
+        // Accumulate the un-mirrored storage (each entry covered once),
+        // symmetrizing per entry: both (i,j) and (j,i) positions receive
+        // half of every stored coefficient.
+        for b in &self.blocks {
+            let row_cl: Vec<(usize, usize, usize)> = b
+                .rows
+                .iter()
+                .enumerate()
+                .filter_map(|(a, &i)| of[i].map(|(ci, pi)| (ci, pi, a)))
+                .collect();
+            if row_cl.is_empty() {
+                continue;
+            }
+            for (c, &j) in b.cols.iter().enumerate() {
+                let Some((cj, pj)) = of[j] else { continue };
+                for &(ci, pi, a) in &row_cl {
+                    if ci == cj {
+                        let v = match &b.data {
+                            ColBlockData::Dense(m) => m[(a, c)],
+                            ColBlockData::LowRank(lr) => lr.entry(a, c),
+                        };
+                        mats[ci][(pi, pj)] += 0.5 * v;
+                        mats[ci][(pj, pi)] += 0.5 * v;
+                    }
+                }
+            }
+        }
+        mats
+    }
+
+    /// Densifies the symmetrized operator — diagnostics and
+    /// small-problem tests only.
+    pub fn to_dense(&self) -> Matrix<f64> {
+        let mut out = Matrix::zeros(self.n, self.n);
+        for b in &self.blocks {
+            for (a, &i) in b.rows.iter().enumerate() {
+                for (c, &j) in b.cols.iter().enumerate() {
+                    let v = match &b.data {
+                        ColBlockData::Dense(m) => m[(a, c)],
+                        ColBlockData::LowRank(lr) => lr.entry(a, c),
+                    };
+                    out[(i, j)] += 0.5 * v;
+                    out[(j, i)] += 0.5 * v;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Recursive row-side descent against a fixed column node: admissible
+/// row blocks become ACA factorizations of the materialized sub-panel,
+/// inadmissible leaves stay dense slices of the panel.
+fn descend_rows(
+    tree: &ClusterTree,
+    spec: &CompressionSpec,
+    row_node: usize,
+    col_node: usize,
+    cols: &[usize],
+    panel: &[Vec<f64>],
+    out: &mut Vec<ColBlock>,
+) -> Result<(), AssembleBemError> {
+    let (rn, cn) = (&tree.nodes[row_node], &tree.nodes[col_node]);
+    let dist = rn.distance(cn);
+    let admissible =
+        row_node != col_node && dist > 0.0 && rn.diameter().min(cn.diameter()) <= spec.eta * dist;
+    if !admissible {
+        if let Some((l, r)) = rn.children {
+            descend_rows(tree, spec, l, col_node, cols, panel, out)?;
+            descend_rows(tree, spec, r, col_node, cols, panel, out)?;
+            return Ok(());
+        }
+    }
+    let rows: Vec<usize> = tree.perm[rn.start..rn.end].to_vec();
+    let (r, c) = (rows.len(), cols.len());
+    if !admissible {
+        out.push(ColBlock {
+            data: ColBlockData::Dense(dense_slice(panel, &rows)),
+            rows,
+            cols: cols.to_vec(),
+        });
+        return Ok(());
+    }
+    let row_fn = |a: usize| -> Vec<f64> { (0..c).map(|b| panel[b][rows[a]]).collect() };
+    let col_fn = |b: usize| -> Vec<f64> { rows.iter().map(|&i| panel[b][i]).collect() };
+    let lr = aca(r, c, &row_fn, &col_fn, spec.tol / ACA_MARGIN, r.min(c))
+        .recompress(spec.tol / RECOMPRESS_MARGIN);
+    if lr.stored_bytes() >= 8 * r * c {
+        out.push(ColBlock {
+            data: ColBlockData::Dense(dense_slice(panel, &rows)),
+            rows,
+            cols: cols.to_vec(),
+        });
+        return Ok(());
+    }
+    // A-posteriori certification against the materialized data, same
+    // fixed-seed sampler as the kernel blocks (ordinal = block index).
+    let ordinal = out.len();
+    let frob = lr.frobenius_norm();
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ (ordinal as u64).wrapping_mul(0xd134_2543_de82_ef95);
+    for _ in 0..CERT_ROWS.min(r) {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let a = (rng >> 33) as usize % r;
+        let exact = row_fn(a);
+        let approx = lr.row(a);
+        let err = exact
+            .iter()
+            .zip(&approx)
+            .map(|(e, p)| (e - p) * (e - p))
+            .sum::<f64>()
+            .sqrt();
+        let row_norm = exact.iter().map(|e| e * e).sum::<f64>().sqrt();
+        let scale = frob.max(row_norm);
+        if err > spec.tol * scale {
+            return Err(AssembleBemError::NumericalBreakdown(format!(
+                "column-panel certification failed on a {r}x{c} block (rank {}): sampled row \
+                 error {err:.3e} exceeds tol {:.1e} x block scale {scale:.3e}",
+                lr.rank(),
+                spec.tol
+            )));
+        }
+    }
+    out.push(ColBlock {
+        rows,
+        cols: cols.to_vec(),
+        data: ColBlockData::LowRank(lr),
+    });
+    Ok(())
+}
+
+/// Dense `rows × panel` slice of materialized columns.
+fn dense_slice(panel: &[Vec<f64>], rows: &[usize]) -> Matrix<f64> {
+    Matrix::from_fn(rows.len(), panel.len(), |a, b| panel[b][rows[a]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth symmetric "Laplacian-like" test matrix over a line of
+    /// points: strong diagonal, 1/(1+d²) off-diagonal decay.
+    fn smooth_matrix(points: &[(f64, f64)]) -> Matrix<f64> {
+        let n = points.len();
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                50.0
+            } else {
+                let dx = points[i].0 - points[j].0;
+                let dy = points[i].1 - points[j].1;
+                1.0 / (1.0 + dx * dx + dy * dy)
+            }
+        })
+    }
+
+    fn grid(nx: usize, ny: usize) -> Vec<(f64, f64)> {
+        (0..nx * ny)
+            .map(|k| ((k % nx) as f64, (k / nx) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn compressed_columns_match_dense_within_tol() {
+        let points = grid(24, 12);
+        let a = smooth_matrix(&points);
+        let spec = CompressionSpec {
+            leaf_size: 8,
+            ..CompressionSpec::with_tol(1e-4)
+        };
+        let mut calls = 0usize;
+        let cc = CompressedColumns::build(&points, &spec, 24, &mut |cols| {
+            calls += 1;
+            Ok(cols.iter().map(|&j| a.col(j)).collect())
+        })
+        .unwrap();
+        assert!(calls > 1, "panels must stream");
+        let d = cc.to_dense();
+        let n = points.len();
+        let frob: f64 = (0..n)
+            .map(|i| (0..n).map(|j| a[(i, j)] * a[(i, j)]).sum::<f64>())
+            .sum::<f64>()
+            .sqrt();
+        let err: f64 = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| (d[(i, j)] - a[(i, j)]) * (d[(i, j)] - a[(i, j)]))
+                    .sum::<f64>()
+            })
+            .sum::<f64>()
+            .sqrt();
+        assert!(err <= spec.tol * frob, "error {err:.3e} vs frob {frob:.3e}");
+        assert!(
+            cc.stats().low_rank_blocks > 0,
+            "far blocks must compress: {:?}",
+            cc.stats()
+        );
+        assert!(cc.stored_bytes() < 8 * n * n, "{:?}", cc.stats());
+    }
+
+    #[test]
+    fn matvec_is_exactly_symmetric() {
+        let points = grid(12, 6);
+        let a = smooth_matrix(&points);
+        let spec = CompressionSpec {
+            leaf_size: 8,
+            ..CompressionSpec::default()
+        };
+        let cc = CompressedColumns::build(&points, &spec, 12, &mut |cols| {
+            Ok(cols.iter().map(|&j| a.col(j)).collect())
+        })
+        .unwrap();
+        let n = points.len();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).cos()).collect();
+        let ax = cc.matvec(&x);
+        let ay = cc.matvec(&y);
+        let yax: f64 = y.iter().zip(&ax).map(|(p, q)| p * q).sum();
+        let xay: f64 = x.iter().zip(&ay).map(|(p, q)| p * q).sum();
+        assert!(
+            (yax - xay).abs() <= 1e-12 * yax.abs().max(xay.abs()),
+            "{yax} vs {xay}"
+        );
+    }
+
+    #[test]
+    fn cluster_restrictions_match_dense_diagonal_blocks() {
+        let points = grid(10, 5);
+        let a = smooth_matrix(&points);
+        let spec = CompressionSpec {
+            leaf_size: 8,
+            ..CompressionSpec::default()
+        };
+        let cc = CompressedColumns::build(&points, &spec, 16, &mut |cols| {
+            Ok(cols.iter().map(|&j| a.col(j)).collect())
+        })
+        .unwrap();
+        let clusters = cc.leaf_clusters(false);
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, points.len(), "clusters must partition");
+        let mats = cc.cluster_restrictions(&clusters);
+        let d = cc.to_dense();
+        for (cl, m) in clusters.iter().zip(&mats) {
+            for (pi, &i) in cl.iter().enumerate() {
+                for (pj, &j) in cl.iter().enumerate() {
+                    assert!(
+                        (m[(pi, pj)] - d[(i, j)]).abs() <= 1e-12 * d[(i, j)].abs().max(1.0),
+                        "cluster entry ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_errors_surface() {
+        let points = grid(8, 4);
+        let spec = CompressionSpec {
+            leaf_size: 4,
+            ..CompressionSpec::default()
+        };
+        let err = CompressedColumns::build(&points, &spec, 8, &mut |_| {
+            Err(AssembleBemError::NumericalBreakdown("boom".into()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, AssembleBemError::NumericalBreakdown(m) if m == "boom"));
+        // Mis-shaped panels are rejected loudly.
+        let err = CompressedColumns::build(&points, &spec, 8, &mut |cols| {
+            Ok(vec![vec![0.0; 3]; cols.len()])
+        })
+        .unwrap_err();
+        assert!(matches!(err, AssembleBemError::NumericalBreakdown(_)));
+    }
+
+    #[test]
+    fn empty_operator_builds() {
+        let cc =
+            CompressedColumns::build(&[], &CompressionSpec::default(), 8, &mut |_| Ok(Vec::new()))
+                .unwrap();
+        assert!(cc.is_empty());
+        assert_eq!(cc.matvec(&[]), Vec::<f64>::new());
+    }
+}

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod assembly;
+pub mod columns;
 pub mod compress;
 pub mod system;
 
@@ -55,8 +56,10 @@ pub use assembly::{
     assemble_link_matrices, assemble_matrices, cross_block_lumping, AssembleBemError, BemOptions,
     RawMatrices, Testing,
 };
+pub use columns::CompressedColumns;
 pub use compress::{
-    assemble_compressed, compress_link_matrices, CompressedKernel, CompressedKernels,
-    CompressedLinkKernel, CompressionSpec, CompressionStats,
+    assemble_compressed, compress_link_matrices, kernel_matvec_count, reset_kernel_matvec_count,
+    CompressedKernel, CompressedKernels, CompressedLinkKernel, CompressionSpec, CompressionStats,
+    SolverSpec,
 };
 pub use system::BemSystem;

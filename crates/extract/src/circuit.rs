@@ -332,6 +332,13 @@ impl EquivalentCircuit {
         keep: &[usize],
     ) -> Result<(Self, Vec<usize>), ExtractCircuitError> {
         let ck = sys.compressed().expect("compressed extraction path");
+        // Block-iterative route: panels of right-hand sides through block
+        // CG under hierarchical preconditioners, with the eliminated
+        // B-block held in certified low-rank column form instead of a
+        // dense e² array.
+        if ck.spec.solver.is_block() {
+            return Self::from_bem_compressed_block(sys, keep);
+        }
         let mesh = sys.mesh();
         let n = mesh.cell_count();
         let links = mesh.links();
@@ -498,6 +505,356 @@ impl EquivalentCircuit {
         for (q, col) in c_cols.iter().enumerate() {
             for r in 0..k {
                 c[(r, q)] = col[r];
+            }
+        }
+        for a in 0..k {
+            for bcol in (a + 1)..k {
+                let v = 0.5 * (c[(a, bcol)] + c[(bcol, a)]);
+                c[(a, bcol)] = v;
+                c[(bcol, a)] = v;
+            }
+        }
+
+        let (names, ports) = node_names_and_ports(mesh, keep);
+        Ok((
+            EquivalentCircuit {
+                names,
+                ports,
+                b,
+                g,
+                c,
+                tan_d: sys.pair().loss_tangent,
+            },
+            keep.to_vec(),
+        ))
+    }
+
+    /// The block-iterative compressed extraction path
+    /// ([`pdn_bem::SolverSpec::BlockCg`]): right-hand sides are solved in
+    /// panels by [`pdn_num::cg::solve_spd_block`] under hierarchical
+    /// block-Jacobi preconditioners built from the kernels' ACA cluster
+    /// trees, and the eliminated B-block — the dense `e²` working set of
+    /// the scalar path — is assembled as a certified
+    /// [`pdn_bem::CompressedColumns`] operator and eliminated by the
+    /// operator-form Schur complement
+    /// [`kron_reduce_operator`](crate::kron_reduce_operator).
+    ///
+    /// Panels run serially in fixed order and every inner parallel fan is
+    /// per-column in index order, so the result is bit-identical for any
+    /// `PDN_THREADS`.
+    fn from_bem_compressed_block(
+        sys: &BemSystem,
+        keep: &[usize],
+    ) -> Result<(Self, Vec<usize>), ExtractCircuitError> {
+        use crate::reduce::kron_reduce_operator;
+
+        let ck = sys.compressed().expect("compressed extraction path");
+        let pdn_bem::SolverSpec::BlockCg { panel, coarsen } = ck.spec.solver else {
+            unreachable!("block extraction path requires SolverSpec::BlockCg");
+        };
+        let mesh = sys.mesh();
+        let n = mesh.cell_count();
+        let links = mesh.links();
+        let m = links.len();
+        let k = keep.len();
+        // Same tolerance contract as the scalar route: CG two decades
+        // tighter than the certified kernel tolerance.
+        let cg_tol = (ck.spec.tol * 1e-2).max(1e-14);
+        let max_iter_l = 10 * m.max(10) + 100;
+        let max_iter_p = 10 * n.max(10) + 100;
+        let breakdown =
+            |e: pdn_bem::AssembleBemError| ExtractCircuitError::NumericalBreakdown(e.to_string());
+
+        // Hierarchical preconditioners over the kernels' cluster trees.
+        let l_pc = ck.l.block_jacobi(coarsen).map_err(breakdown)?;
+        let p_pc = ck.p.block_jacobi(coarsen).map_err(breakdown)?;
+
+        // Kept/eliminated index maps.
+        let mut kept_pos = vec![usize::MAX; n];
+        for (p, &cell) in keep.iter().enumerate() {
+            kept_pos[cell] = p;
+        }
+        let elim: Vec<usize> = (0..n).filter(|&i| kept_pos[i] == usize::MAX).collect();
+        let mut elim_pos = vec![usize::MAX; n];
+        for (p, &cell) in elim.iter().enumerate() {
+            elim_pos[cell] = p;
+        }
+        let e = elim.len();
+
+        // Per-cell incidence lists make the sparse A columns O(links per
+        // cell) instead of a scan over every link.
+        let mut cell_links: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (l, link) in links.iter().enumerate() {
+            cell_links[link.a].push((l, 1.0));
+            cell_links[link.b].push((l, -1.0));
+        }
+
+        // One panel of B = AᵀL⁻¹A columns for the given cells.
+        let b_panel = |cells: &[usize]| -> Result<Vec<Vec<f64>>, pdn_bem::AssembleBemError> {
+            let rhs: Vec<Vec<f64>> = cells
+                .iter()
+                .map(|&j| {
+                    let mut a_col = vec![0.0; m];
+                    for &(l, s) in &cell_links[j] {
+                        a_col[l] += s;
+                    }
+                    a_col
+                })
+                .collect();
+            let xs = ck.l.solve_block(&rhs, &l_pc, cg_tol, max_iter_l)?;
+            Ok(xs
+                .into_iter()
+                .map(|x| {
+                    let mut y = vec![0.0; n];
+                    for (l, link) in links.iter().enumerate() {
+                        y[link.a] += x[l];
+                        y[link.b] -= x[l];
+                    }
+                    y
+                })
+                .collect())
+        };
+
+        // Kept cells in the P cluster tree's traversal order: panels of
+        // geometrically coherent right-hand sides share a Krylov subspace
+        // much better than keep-index-ordered ones, so the block solves
+        // converge in fewer iterations. The order depends only on the
+        // deterministic tree, never on the worker count.
+        let kept_tree_order: Vec<usize> =
+            ck.p.leaf_clusters(false)
+                .into_iter()
+                .flatten()
+                .filter(|&i| kept_pos[i] != usize::MAX)
+                .collect();
+
+        // --- Kept columns of B: dense (k × k) and (k × e) blocks --------
+        let mut b_kk = Matrix::zeros(k, k);
+        let mut b_ke = Matrix::zeros(k, e);
+        for chunk in kept_tree_order.chunks(panel) {
+            let cols = b_panel(chunk).map_err(breakdown)?;
+            for (t, y) in cols.iter().enumerate() {
+                let jk = kept_pos[chunk[t]];
+                for (i, &v) in y.iter().enumerate() {
+                    if kept_pos[i] != usize::MAX {
+                        b_kk[(kept_pos[i], jk)] = v;
+                    } else {
+                        // B is symmetric up to the CG tolerance: the
+                        // eliminated rows of kept columns are the kept
+                        // rows of eliminated columns, so the coupling
+                        // block never needs eliminated-column solves.
+                        b_ke[(jk, elim_pos[i])] = v;
+                    }
+                }
+            }
+        }
+        for a in 0..k {
+            for bcol in (a + 1)..k {
+                let v = 0.5 * (b_kk[(a, bcol)] + b_kk[(bcol, a)]);
+                b_kk[(a, bcol)] = v;
+                b_kk[(bcol, a)] = v;
+            }
+        }
+
+        // --- B_ee as a certified low-rank column compression ------------
+        // The eliminated block dominates the scalar path's working set
+        // (dense 8·e² bytes). Here its columns are generated panel-wise by
+        // the same block solves and compressed on the fly; the Schur
+        // complement is then taken iteratively against the compressed
+        // operator, so the dense e² array is never materialized.
+        let (b, elim_clusters) = if e == 0 {
+            (b_kk.clone(), Vec::new())
+        } else {
+            let elim_points: Vec<(f64, f64)> = elim
+                .iter()
+                .map(|&i| {
+                    let c = mesh.cell_center(i);
+                    (c.x, c.y)
+                })
+                .collect();
+            let bee = pdn_bem::CompressedColumns::build(
+                &elim_points,
+                &ck.spec,
+                panel,
+                &mut |local: &[usize]| {
+                    let cells: Vec<usize> = local.iter().map(|&q| elim[q]).collect();
+                    let cols = b_panel(&cells)?;
+                    Ok(cols
+                        .into_iter()
+                        .map(|y| elim.iter().map(|&i| y[i]).collect())
+                        .collect())
+                },
+            )
+            .map_err(breakdown)?;
+            let elim_clusters = bee.leaf_clusters(coarsen);
+            let mats = bee.cluster_restrictions(&elim_clusters);
+            let bee_pc = pdn_num::BlockJacobiPreconditioner::from_blocks(
+                e,
+                elim_clusters.iter().cloned().zip(mats).collect(),
+            )
+            .map_err(|err| {
+                ExtractCircuitError::NumericalBreakdown(format!(
+                    "hierarchical B_ee preconditioner construction failed: {err} \
+                     (does every net keep at least one node?)"
+                ))
+            })?;
+            let apply_bee = |cols: &[Vec<f64>]| -> Vec<Vec<f64>> { bee.matvec_block(cols) };
+            let b = kron_reduce_operator(
+                &b_kk,
+                &b_ke,
+                &apply_bee,
+                &bee_pc,
+                panel,
+                cg_tol,
+                10 * e.max(10) + 100,
+            )
+            .map_err(|err| {
+                ExtractCircuitError::NumericalBreakdown(format!(
+                    "iterative Kron reduction of B failed: {err} \
+                     (does every net keep at least one node?)"
+                ))
+            })?;
+            (b, elim_clusters)
+        };
+        drop(b_kk);
+        drop(b_ke);
+
+        // --- G: sparse DC Laplacian, Schur complement in operator form --
+        let mut g_kk = Matrix::zeros(k, k);
+        let mut g_ke = Matrix::zeros(k, e);
+        let mut g_ee_diag = vec![0.0; e];
+        let mut g_ee_off: Vec<(usize, usize, f64)> = Vec::new();
+        let mut has_g = false;
+        for (l, link) in links.iter().enumerate() {
+            let r = sys.link_resistances()[l];
+            if r > 0.0 {
+                has_g = true;
+                let g = 1.0 / r;
+                let (a, b2) = (link.a, link.b);
+                match (kept_pos[a], kept_pos[b2]) {
+                    (ak, bk) if ak != usize::MAX && bk != usize::MAX => {
+                        g_kk[(ak, ak)] += g;
+                        g_kk[(bk, bk)] += g;
+                        g_kk[(ak, bk)] -= g;
+                        g_kk[(bk, ak)] -= g;
+                    }
+                    (ak, _) if ak != usize::MAX => {
+                        g_kk[(ak, ak)] += g;
+                        g_ee_diag[elim_pos[b2]] += g;
+                        g_ke[(ak, elim_pos[b2])] -= g;
+                    }
+                    (_, bk) if bk != usize::MAX => {
+                        g_kk[(bk, bk)] += g;
+                        g_ee_diag[elim_pos[a]] += g;
+                        g_ke[(bk, elim_pos[a])] -= g;
+                    }
+                    _ => {
+                        let (pa, pb) = (elim_pos[a], elim_pos[b2]);
+                        g_ee_diag[pa] += g;
+                        g_ee_diag[pb] += g;
+                        g_ee_off.push((pa.min(pb), pa.max(pb), -g));
+                    }
+                }
+            }
+        }
+        let g = if !has_g {
+            Matrix::zeros(k, k)
+        } else if e == 0 {
+            g_kk
+        } else {
+            // Block-Jacobi over the same geometric clusters as B_ee; the
+            // per-cluster restrictions of the sparse Laplacian are stamped
+            // directly.
+            let mut cluster_of = vec![(usize::MAX, usize::MAX); e];
+            for (ci, cl) in elim_clusters.iter().enumerate() {
+                for (p, &i) in cl.iter().enumerate() {
+                    cluster_of[i] = (ci, p);
+                }
+            }
+            let mut g_mats: Vec<Matrix<f64>> = elim_clusters
+                .iter()
+                .map(|cl| {
+                    let mut mat = Matrix::zeros(cl.len(), cl.len());
+                    for (p, &i) in cl.iter().enumerate() {
+                        mat[(p, p)] = g_ee_diag[i];
+                    }
+                    mat
+                })
+                .collect();
+            for &(i, j, v) in &g_ee_off {
+                let (ci, pi) = cluster_of[i];
+                let (cj, pj) = cluster_of[j];
+                if ci == cj {
+                    g_mats[ci][(pi, pj)] += v;
+                    g_mats[ci][(pj, pi)] += v;
+                }
+            }
+            let g_pc = pdn_num::BlockJacobiPreconditioner::from_blocks(
+                e,
+                elim_clusters.iter().cloned().zip(g_mats).collect(),
+            )
+            .map_err(|err| {
+                ExtractCircuitError::NumericalBreakdown(format!(
+                    "hierarchical G_ee preconditioner construction failed: {err} \
+                     (does every net keep at least one node?)"
+                ))
+            })?;
+            let apply_gee = |cols: &[Vec<f64>]| -> Vec<Vec<f64>> {
+                pdn_num::parallel::par_map_indexed(cols.len(), |t| {
+                    let x = &cols[t];
+                    let mut y: Vec<f64> = (0..e).map(|i| g_ee_diag[i] * x[i]).collect();
+                    for &(i, j, v) in &g_ee_off {
+                        y[i] += v * x[j];
+                        y[j] += v * x[i];
+                    }
+                    y
+                })
+            };
+            kron_reduce_operator(
+                &g_kk,
+                &g_ke,
+                &apply_gee,
+                &g_pc,
+                panel,
+                cg_tol,
+                10 * e.max(10) + 100,
+            )
+            .map_err(|err| {
+                ExtractCircuitError::NumericalBreakdown(format!(
+                    "iterative Kron reduction of G failed: {err} \
+                     (does every net keep at least one node?)"
+                ))
+            })?
+        };
+
+        // --- C = Sᵀ P⁻¹ S, cluster indicators solved in panels ----------
+        let cluster = capacitance_clusters(mesh, keep)?;
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &cl) in cluster.iter().enumerate() {
+            members[cl].push(i);
+        }
+        let mut c = Matrix::zeros(k, k);
+        // Same tree-coherent panel order as the B columns (indicator
+        // clusters sit around their kept cell).
+        let kept_cols: Vec<usize> = kept_tree_order.iter().map(|&i| kept_pos[i]).collect();
+        for chunk in kept_cols.chunks(panel) {
+            let rhs: Vec<Vec<f64>> = chunk
+                .iter()
+                .map(|&q| {
+                    let mut s = vec![0.0; n];
+                    for &i in &members[q] {
+                        s[i] = 1.0;
+                    }
+                    s
+                })
+                .collect();
+            let zs =
+                ck.p.solve_block(&rhs, &p_pc, cg_tol, max_iter_p)
+                    .map_err(breakdown)?;
+            for (t, z) in zs.iter().enumerate() {
+                let q = chunk[t];
+                for r in 0..k {
+                    c[(r, q)] = members[r].iter().map(|&i| z[i]).sum::<f64>();
+                }
             }
         }
         for a in 0..k {
@@ -1316,6 +1673,107 @@ mod tests {
                 for j in 0..zd.ncols() {
                     assert!((zd[(i, j)] - zc[(i, j)]).norm() <= 1e-4 * scale);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn block_solver_extraction_matches_dense() {
+        // The BlockCg route (panel block CG, hierarchical preconditioners,
+        // compressed B_ee with iterative Schur) against the dense path:
+        // same certified-tolerance contract as the scalar compressed
+        // route.
+        let build = |spec: Option<pdn_bem::CompressionSpec>| {
+            let mut mesh =
+                PlaneMesh::build(&Polygon::rectangle(mm(24.0), mm(12.0)), mm(1.0)).unwrap();
+            mesh.bind_port("P1", Point::new(mm(3.0), mm(6.0))).unwrap();
+            mesh.bind_port("P2", Point::new(mm(21.0), mm(6.0))).unwrap();
+            let pair = PlanePair::new(0.3e-3, 4.2).unwrap();
+            let zs = SurfaceImpedance::from_sheet_resistance(5e-3);
+            let opts = BemOptions {
+                compression: spec,
+                ..BemOptions::default()
+            };
+            BemSystem::assemble(mesh, &pair, &zs, &opts).unwrap()
+        };
+        let spec = pdn_bem::CompressionSpec {
+            leaf_size: 16,
+            ..pdn_bem::CompressionSpec::default()
+        }
+        .with_block_solver();
+        assert!(spec.solver.is_block());
+        let dense = build(None);
+        let block = build(Some(spec));
+        let sel = NodeSelection::PortsAndGrid { stride: 3 };
+        let (eq_d, keep_d) = EquivalentCircuit::from_bem_detailed(&dense, &sel).unwrap();
+        let (eq_b, keep_b) = EquivalentCircuit::from_bem_detailed(&block, &sel).unwrap();
+        assert_eq!(keep_d, keep_b);
+        assert_eq!(eq_d.names, eq_b.names);
+        let close = |a: &Matrix<f64>, b: &Matrix<f64>, what: &str| {
+            let scale = a.max_abs().max(1e-300);
+            for i in 0..a.nrows() {
+                for j in 0..a.ncols() {
+                    let d = (a[(i, j)] - b[(i, j)]).abs();
+                    assert!(
+                        d <= 1e-4 * scale,
+                        "{what}({i},{j}): dense {} vs block {} (rel {:.3e})",
+                        a[(i, j)],
+                        b[(i, j)],
+                        d / scale
+                    );
+                }
+            }
+        };
+        close(&eq_d.b, &eq_b.b, "B");
+        close(&eq_d.g, &eq_b.g, "G");
+        close(&eq_d.c, &eq_b.c, "C");
+        for &f in &[1e8, 1e9, 4e9] {
+            let zd = eq_d.impedance(f).unwrap();
+            let zb = eq_b.impedance(f).unwrap();
+            let scale = zd.max_abs();
+            for i in 0..zd.nrows() {
+                for j in 0..zd.ncols() {
+                    assert!((zd[(i, j)] - zb[(i, j)]).norm() <= 1e-4 * scale);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_solver_keep_all_has_no_eliminated_block() {
+        // NodeSelection::All leaves e == 0: the block route must skip the
+        // compressed-columns machinery entirely and still agree with the
+        // scalar compressed route bit-for-bit in structure.
+        let build = |solver: pdn_bem::SolverSpec| {
+            let mut mesh =
+                PlaneMesh::build(&Polygon::rectangle(mm(12.0), mm(8.0)), mm(1.0)).unwrap();
+            mesh.bind_port("P1", Point::new(mm(2.0), mm(4.0))).unwrap();
+            let pair = PlanePair::new(0.3e-3, 4.2).unwrap();
+            let zs = SurfaceImpedance::from_sheet_resistance(5e-3);
+            let opts = BemOptions {
+                compression: Some(
+                    pdn_bem::CompressionSpec {
+                        leaf_size: 8,
+                        ..pdn_bem::CompressionSpec::default()
+                    }
+                    .with_solver(solver),
+                ),
+                ..BemOptions::default()
+            };
+            BemSystem::assemble(mesh, &pair, &zs, &opts).unwrap()
+        };
+        let scalar = build(pdn_bem::SolverSpec::ScalarJacobi);
+        let block = build(pdn_bem::SolverSpec::BlockCg {
+            panel: 16,
+            coarsen: false,
+        });
+        let (eq_s, _) = EquivalentCircuit::from_bem_detailed(&scalar, &NodeSelection::All).unwrap();
+        let (eq_b, _) = EquivalentCircuit::from_bem_detailed(&block, &NodeSelection::All).unwrap();
+        assert_eq!(eq_s.node_count(), eq_b.node_count());
+        let scale = eq_s.b.max_abs();
+        for i in 0..eq_s.b.nrows() {
+            for j in 0..eq_s.b.ncols() {
+                assert!((eq_s.b[(i, j)] - eq_b.b[(i, j)]).abs() <= 1e-6 * scale);
             }
         }
     }
