@@ -161,6 +161,24 @@ pub(crate) fn scalar_kernel(pair: &PlanePair, opts: &BemOptions) -> LayeredKerne
     }
 }
 
+/// Fills `out` with the panel integral of `g` at every center offset,
+/// through the lane-batched kernels — point matching or Galerkin according
+/// to `quad`. Per element bit-identical to the scalar `panel_integral` /
+/// `panel_galerkin` calls the assembly loops used to make.
+pub(crate) fn kernel_row(
+    g: &LayeredKernel,
+    off_x: &[f64],
+    off_y: &[f64],
+    cell: Rectangle,
+    quad: &Option<GaussLegendre>,
+    out: &mut [f64],
+) {
+    match quad {
+        None => g.panel_integral_batch(off_x, off_y, cell, out),
+        Some(q) => g.panel_galerkin_batch(off_x, off_y, cell, cell, q, out),
+    }
+}
+
 /// Assembles `P`, `L`, and `R` for a meshed plane over the given pair.
 ///
 /// # Errors
@@ -191,19 +209,24 @@ pub fn assemble_matrices(
     // The O(N²) kernel-integration loop dominates assembly; rows are
     // independent, so fan them out. Only the upper triangle (j ≥ i) is
     // integrated — row cost shrinks with i, which the dynamic scheduler in
-    // `par_map_indexed` balances across workers.
+    // `par_map_indexed` balances across workers. Within a row the offsets
+    // are batched into SoA lanes for the vectorized kernel; per-entry
+    // values are bit-identical to the scalar calls.
     let centers = mesh.cell_centers();
     let p_rows: Vec<Vec<f64>> = parallel::par_map_indexed(n, |i| {
-        (i..n)
-            .map(|j| {
-                let off = (centers[i].x - centers[j].x, centers[i].y - centers[j].y);
-                let p = match &quad {
-                    None => g_phi.panel_integral(off, cell),
-                    Some(q) => g_phi.panel_galerkin(off, cell, cell, q),
-                };
-                p / area
-            })
-            .collect()
+        let len = n - i;
+        let mut ox = Vec::with_capacity(len);
+        let mut oy = Vec::with_capacity(len);
+        for j in i..n {
+            ox.push(centers[i].x - centers[j].x);
+            oy.push(centers[i].y - centers[j].y);
+        }
+        let mut row = vec![0.0; len];
+        kernel_row(&g_phi, &ox, &oy, cell, &quad, &mut row);
+        for v in &mut row {
+            *v /= area;
+        }
+        row
     });
     let mut p_coef = Matrix::zeros(n, n);
     for (i, row) in p_rows.iter().enumerate() {
@@ -215,30 +238,33 @@ pub fn assemble_matrices(
     }
 
     // --- Partial inductances ---------------------------------------------
+    // Orthogonal links have zero quasi-static mutual, so each row batches
+    // only its same-direction partners and scatters the results back.
     let links = mesh.links();
     let l_rows: Vec<Vec<f64>> = parallel::par_map_indexed(m, |i| {
-        (i..m)
-            .map(|j| {
-                if links[i].direction != links[j].direction {
-                    return 0.0; // orthogonal currents: zero quasi-static mutual
-                }
-                let off = (
-                    links[i].center.x - links[j].center.x,
-                    links[i].center.y - links[j].center.y,
-                );
-                let integral = match &quad {
-                    None => g_a.panel_integral(off, cell) * area,
-                    Some(q) => g_a.panel_galerkin(off, cell, cell, q) * area,
-                };
-                // L = (1/(wᵢwⱼ))·∬∬ G_A; the patch width is the dimension
-                // transverse to current flow.
-                let w = match links[i].direction {
-                    LinkDirection::X => mesh.dy(),
-                    LinkDirection::Y => mesh.dx(),
-                };
-                integral / (w * w)
-            })
-            .collect()
+        // L = (1/(wᵢwⱼ))·∬∬ G_A; the patch width is the dimension
+        // transverse to current flow.
+        let w = match links[i].direction {
+            LinkDirection::X => mesh.dy(),
+            LinkDirection::Y => mesh.dx(),
+        };
+        let idx: Vec<usize> = (i..m)
+            .filter(|&j| links[j].direction == links[i].direction)
+            .collect();
+        let mut ox = Vec::with_capacity(idx.len());
+        let mut oy = Vec::with_capacity(idx.len());
+        for &j in &idx {
+            ox.push(links[i].center.x - links[j].center.x);
+            oy.push(links[i].center.y - links[j].center.y);
+        }
+        let mut vals = vec![0.0; idx.len()];
+        kernel_row(&g_a, &ox, &oy, cell, &quad, &mut vals);
+        let mut row = vec![0.0; m - i];
+        for (t, &j) in idx.iter().enumerate() {
+            let integral = vals[t] * area;
+            row[j - i] = integral / (w * w);
+        }
+        row
     });
     let mut l = Matrix::zeros(m, m);
     for (i, row) in l_rows.iter().enumerate() {
@@ -287,26 +313,27 @@ pub fn assemble_link_matrices(
         Testing::Galerkin { order } => Some(GaussLegendre::new(order.max(2))),
     };
     let l_rows: Vec<Vec<f64>> = parallel::par_map_indexed(m, |i| {
-        (i..m)
-            .map(|j| {
-                if links[i].direction != links[j].direction {
-                    return 0.0; // orthogonal currents: zero quasi-static mutual
-                }
-                let off = (
-                    links[i].center.x - links[j].center.x,
-                    links[i].center.y - links[j].center.y,
-                );
-                let integral = match &quad {
-                    None => g_a.panel_integral(off, cell) * area,
-                    Some(q) => g_a.panel_galerkin(off, cell, cell, q) * area,
-                };
-                let w = match links[i].direction {
-                    LinkDirection::X => dy,
-                    LinkDirection::Y => dx,
-                };
-                integral / (w * w)
-            })
-            .collect()
+        let w = match links[i].direction {
+            LinkDirection::X => dy,
+            LinkDirection::Y => dx,
+        };
+        let idx: Vec<usize> = (i..m)
+            .filter(|&j| links[j].direction == links[i].direction)
+            .collect();
+        let mut ox = Vec::with_capacity(idx.len());
+        let mut oy = Vec::with_capacity(idx.len());
+        for &j in &idx {
+            ox.push(links[i].center.x - links[j].center.x);
+            oy.push(links[i].center.y - links[j].center.y);
+        }
+        let mut vals = vec![0.0; idx.len()];
+        kernel_row(&g_a, &ox, &oy, cell, &quad, &mut vals);
+        let mut row = vec![0.0; m - i];
+        for (t, &j) in idx.iter().enumerate() {
+            let integral = vals[t] * area;
+            row[j - i] = integral / (w * w);
+        }
+        row
     });
     let mut l = Matrix::zeros(m, m);
     for (i, row) in l_rows.iter().enumerate() {
@@ -380,38 +407,45 @@ pub fn cross_block_lumping(
     };
     let centers = mesh.cell_centers();
     let p_lump = parallel::par_map_indexed(n, |i| {
-        (0..n)
-            .filter(|&j| cell_block[j] != cell_block[i])
-            .map(|j| {
-                let off = (centers[i].x - centers[j].x, centers[i].y - centers[j].y);
-                let p = match &quad {
-                    None => g_phi.panel_integral(off, cell),
-                    Some(q) => g_phi.panel_galerkin(off, cell, cell, q),
-                };
-                p / area
-            })
-            .sum()
+        let idx: Vec<usize> = (0..n).filter(|&j| cell_block[j] != cell_block[i]).collect();
+        let mut ox = Vec::with_capacity(idx.len());
+        let mut oy = Vec::with_capacity(idx.len());
+        for &j in &idx {
+            ox.push(centers[i].x - centers[j].x);
+            oy.push(centers[i].y - centers[j].y);
+        }
+        let mut vals = vec![0.0; idx.len()];
+        kernel_row(&g_phi, &ox, &oy, cell, &quad, &mut vals);
+        // Same ascending-j accumulation as the dropped-row-sum contract.
+        let mut s = 0.0;
+        for &p in &vals {
+            s += p / area;
+        }
+        s
     });
     let links = mesh.links();
     let l_lump = parallel::par_map_indexed(m, |i| {
-        (0..m)
+        let w = match links[i].direction {
+            LinkDirection::X => mesh.dy(),
+            LinkDirection::Y => mesh.dx(),
+        };
+        let idx: Vec<usize> = (0..m)
             .filter(|&j| link_block[j] != link_block[i] && links[j].direction == links[i].direction)
-            .map(|j| {
-                let off = (
-                    links[i].center.x - links[j].center.x,
-                    links[i].center.y - links[j].center.y,
-                );
-                let integral = match &quad {
-                    None => g_a.panel_integral(off, cell) * area,
-                    Some(q) => g_a.panel_galerkin(off, cell, cell, q) * area,
-                };
-                let w = match links[i].direction {
-                    LinkDirection::X => mesh.dy(),
-                    LinkDirection::Y => mesh.dx(),
-                };
-                integral / (w * w)
-            })
-            .sum()
+            .collect();
+        let mut ox = Vec::with_capacity(idx.len());
+        let mut oy = Vec::with_capacity(idx.len());
+        for &j in &idx {
+            ox.push(links[i].center.x - links[j].center.x);
+            oy.push(links[i].center.y - links[j].center.y);
+        }
+        let mut vals = vec![0.0; idx.len()];
+        kernel_row(&g_a, &ox, &oy, cell, &quad, &mut vals);
+        let mut s = 0.0;
+        for &v in &vals {
+            let integral = v * area;
+            s += integral / (w * w);
+        }
+        s
     });
     (p_lump, l_lump)
 }

@@ -51,6 +51,10 @@ struct ColBlock {
     data: ColBlockData,
 }
 
+/// Streaming column-panel generator: returns the dense columns for the
+/// requested indices, or the assembly error to propagate verbatim.
+pub type ColumnGen<'a> = dyn FnMut(&[usize]) -> Result<Vec<Vec<f64>>, AssembleBemError> + 'a;
+
 /// A symmetric matrix compressed from streamed column panels; see the
 /// module docs for the construction.
 #[derive(Debug, Clone)]
@@ -102,7 +106,7 @@ impl CompressedColumns {
         points: &[(f64, f64)],
         spec: &CompressionSpec,
         panel: usize,
-        gen: &mut dyn FnMut(&[usize]) -> Result<Vec<Vec<f64>>, AssembleBemError>,
+        gen: &mut ColumnGen<'_>,
     ) -> Result<CompressedColumns, AssembleBemError> {
         spec.validate()?;
         let n = points.len();

@@ -33,7 +33,7 @@
 //! Set `PDN_ACA_STATS=1` to print per-kernel block/rank/byte diagnostics
 //! to stderr at assembly time.
 
-use crate::assembly::{scalar_kernel, AssembleBemError, BemOptions, Testing};
+use crate::assembly::{kernel_row, scalar_kernel, AssembleBemError, BemOptions, Testing};
 use pdn_geom::mesh::LinkDirection;
 use pdn_geom::{PlaneMesh, PlanePair};
 use pdn_greens::{LayeredKernel, Rectangle, SurfaceImpedance};
@@ -400,6 +400,12 @@ pub struct CompressionStats {
     pub dense_bytes: usize,
 }
 
+/// Batched kernel-row generator: `row_gen(i, cols, out)` must fill
+/// `out[t] = entry(i, cols[t])` bit-for-bit for the kernel being
+/// compressed. Assembly passes lane-vectorized panel-integral batches
+/// through this signature.
+pub type RowGen<'a> = dyn Fn(usize, &[usize], &mut [f64]) + Sync + 'a;
+
 /// A symmetric kernel matrix in hierarchically compressed form.
 ///
 /// Built by [`CompressedKernel::build`] from a point set and an exact
@@ -510,6 +516,29 @@ impl CompressedKernel {
         spec: &CompressionSpec,
         entry: &(dyn Fn(usize, usize) -> f64 + Sync),
     ) -> Result<CompressedKernel, AssembleBemError> {
+        let row_gen = |i: usize, cols: &[usize], out: &mut [f64]| {
+            for (t, &j) in cols.iter().enumerate() {
+                out[t] = entry(i, j);
+            }
+        };
+        Self::build_with_rows(points, spec, &row_gen)
+    }
+
+    /// [`build`](Self::build) with an explicit batched row generator:
+    /// `row_gen(i, cols, out)` must fill `out[t] = entry(i, cols[t])`
+    /// bit-for-bit. The BEM assembly passes lane-vectorized panel-integral
+    /// batches here; block assembly then generates whole rows per kernel
+    /// call (near-field dense fill, ACA pivot rows, and — via the
+    /// symmetry of `entry` — ACA pivot columns).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`build`](Self::build).
+    pub fn build_with_rows(
+        points: &[(f64, f64)],
+        spec: &CompressionSpec,
+        row_gen: &RowGen<'_>,
+    ) -> Result<CompressedKernel, AssembleBemError> {
         spec.validate()?;
         let n = points.len();
         let tree = ClusterTree::build(points, spec.leaf_size);
@@ -517,7 +546,7 @@ impl CompressedKernel {
         let blocks: Vec<Block> = parallel::try_par_map_indexed(plan.len(), |bi| {
             let pb = &plan[bi];
             Ok(Block {
-                data: assemble_block(pb, bi, spec, entry)?,
+                data: assemble_block(pb, bi, spec, row_gen)?,
                 rows: pb.rows.clone(),
                 cols: pb.cols.clone(),
                 diagonal: pb.diagonal,
@@ -930,28 +959,42 @@ impl CompressedKernel {
 
 /// Assembles one planned block: dense near-field entries, or ACA +
 /// recompression + certification for an admissible pair. `ordinal` seeds
-/// the certification row sampler.
+/// the certification row sampler. Rows are generated through `row_gen`
+/// (the batched fast path; bit-identical to `entry` by contract); columns
+/// come from `row_gen` on the transpose, valid because `entry` is
+/// symmetric.
 fn assemble_block(
     pb: &PlannedBlock,
     ordinal: usize,
     spec: &CompressionSpec,
-    entry: &(dyn Fn(usize, usize) -> f64 + Sync),
+    row_gen: &RowGen<'_>,
 ) -> Result<BlockData, AssembleBemError> {
     let (r, c) = (pb.rows.len(), pb.cols.len());
+    let dense = || -> BlockData {
+        let mut m = Matrix::zeros(r, c);
+        for a in 0..r {
+            row_gen(pb.rows[a], &pb.cols, m.row_mut(a));
+        }
+        BlockData::Dense(m)
+    };
     if !pb.admissible {
-        return Ok(BlockData::Dense(Matrix::from_fn(r, c, |a, b| {
-            entry(pb.rows[a], pb.cols[b])
-        })));
+        return Ok(dense());
     }
-    let row_fn = |a: usize| -> Vec<f64> { pb.cols.iter().map(|&j| entry(pb.rows[a], j)).collect() };
-    let col_fn = |b: usize| -> Vec<f64> { pb.rows.iter().map(|&i| entry(i, pb.cols[b])).collect() };
+    let row_fn = |a: usize| -> Vec<f64> {
+        let mut v = vec![0.0; c];
+        row_gen(pb.rows[a], &pb.cols, &mut v);
+        v
+    };
+    let col_fn = |b: usize| -> Vec<f64> {
+        let mut v = vec![0.0; r];
+        row_gen(pb.cols[b], &pb.rows, &mut v);
+        v
+    };
     let lr = aca(r, c, &row_fn, &col_fn, spec.tol / ACA_MARGIN, r.min(c))
         .recompress(spec.tol / RECOMPRESS_MARGIN);
     // Not worth keeping in factored form: store the exact dense block.
     if lr.stored_bytes() >= 8 * r * c {
-        return Ok(BlockData::Dense(Matrix::from_fn(r, c, |a, b| {
-            entry(pb.rows[a], pb.cols[b])
-        })));
+        return Ok(dense());
     }
     // A-posteriori certification: sampled rows of the factorization must
     // match the exact kernel to `tol` relative to the block norm.
@@ -1019,6 +1062,27 @@ impl CompressedLinkKernel {
         spec: &CompressionSpec,
         entry: &(dyn Fn(usize, usize) -> f64 + Sync),
     ) -> Result<CompressedLinkKernel, AssembleBemError> {
+        let row_gen = |i: usize, cols: &[usize], out: &mut [f64]| {
+            for (t, &j) in cols.iter().enumerate() {
+                out[t] = entry(i, j);
+            }
+        };
+        Self::build_with_rows(centers, directions, spec, &row_gen)
+    }
+
+    /// [`build`](Self::build) with a batched row generator over **global**
+    /// link indices: `row_gen(i, cols, out)` fills `out[t] = entry(i,
+    /// cols[t])`. Only same-direction index pairs are ever requested.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CompressedKernel::build`].
+    pub fn build_with_rows(
+        centers: &[(f64, f64)],
+        directions: &[LinkDirection],
+        spec: &CompressionSpec,
+        row_gen: &RowGen<'_>,
+    ) -> Result<CompressedLinkKernel, AssembleBemError> {
         assert_eq!(
             centers.len(),
             directions.len(),
@@ -1033,8 +1097,11 @@ impl CompressedLinkKernel {
             .collect();
         let sub = |idx: &[usize]| -> Result<CompressedKernel, AssembleBemError> {
             let pts: Vec<(f64, f64)> = idx.iter().map(|&i| centers[i]).collect();
-            let local = |a: usize, b: usize| entry(idx[a], idx[b]);
-            CompressedKernel::build(&pts, spec, &local)
+            let local = |a: usize, cols: &[usize], out: &mut [f64]| {
+                let global: Vec<usize> = cols.iter().map(|&b| idx[b]).collect();
+                row_gen(idx[a], &global, out);
+            };
+            CompressedKernel::build_with_rows(&pts, spec, &local)
         };
         let x = sub(&x_idx)?;
         let y = sub(&y_idx)?;
@@ -1298,42 +1365,55 @@ pub fn assemble_compressed(
     // Entries are canonicalized to (lo, hi) index order so the generator
     // is symmetric by construction and every evaluation matches the
     // upper-triangle orientation of the dense assembly loops exactly.
+    // Rows are generated through the lane-batched panel kernels; per
+    // element they are bit-identical to the scalar entry closures this
+    // path used to pass.
     let centers = mesh.cell_centers();
-    let p_entry = |i: usize, j: usize| -> f64 {
-        let (a, b) = if i <= j { (i, j) } else { (j, i) };
-        let off = (centers[a].x - centers[b].x, centers[a].y - centers[b].y);
-        let p = match &quad {
-            None => g_phi.panel_integral(off, cell),
-            Some(q) => g_phi.panel_galerkin(off, cell, cell, q),
-        };
-        p / area
+    let p_row = |i: usize, cols: &[usize], out: &mut [f64]| {
+        let mut ox = Vec::with_capacity(cols.len());
+        let mut oy = Vec::with_capacity(cols.len());
+        for &j in cols {
+            let (a, b) = if i <= j { (i, j) } else { (j, i) };
+            ox.push(centers[a].x - centers[b].x);
+            oy.push(centers[a].y - centers[b].y);
+        }
+        kernel_row(&g_phi, &ox, &oy, cell, &quad, out);
+        for v in out.iter_mut() {
+            *v /= area;
+        }
     };
     let cell_points: Vec<(f64, f64)> = centers.iter().map(|c| (c.x, c.y)).collect();
-    let p = CompressedKernel::build(&cell_points, spec, &p_entry)?;
+    let p = CompressedKernel::build_with_rows(&cell_points, spec, &p_row)?;
 
     let links = mesh.links();
-    let l_entry = |i: usize, j: usize| -> f64 {
-        let (a, b) = if i <= j { (i, j) } else { (j, i) };
-        if links[a].direction != links[b].direction {
-            return 0.0; // orthogonal currents: zero quasi-static mutual
-        }
-        let off = (
-            links[a].center.x - links[b].center.x,
-            links[a].center.y - links[b].center.y,
-        );
-        let integral = match &quad {
-            None => g_a.panel_integral(off, cell) * area,
-            Some(q) => g_a.panel_galerkin(off, cell, cell, q) * area,
-        };
-        let w = match links[a].direction {
+    let l_row = |i: usize, cols: &[usize], out: &mut [f64]| {
+        let w = match links[i].direction {
             LinkDirection::X => mesh.dy(),
             LinkDirection::Y => mesh.dx(),
         };
-        integral / (w * w)
+        let mut ox = Vec::with_capacity(cols.len());
+        let mut oy = Vec::with_capacity(cols.len());
+        let mut keep = Vec::with_capacity(cols.len());
+        for (t, &j) in cols.iter().enumerate() {
+            let (a, b) = if i <= j { (i, j) } else { (j, i) };
+            if links[a].direction != links[b].direction {
+                continue; // orthogonal currents: zero quasi-static mutual
+            }
+            keep.push(t);
+            ox.push(links[a].center.x - links[b].center.x);
+            oy.push(links[a].center.y - links[b].center.y);
+        }
+        let mut vals = vec![0.0; keep.len()];
+        kernel_row(&g_a, &ox, &oy, cell, &quad, &mut vals);
+        out.fill(0.0);
+        for (k, &t) in keep.iter().enumerate() {
+            let integral = vals[k] * area;
+            out[t] = integral / (w * w);
+        }
     };
     let link_points: Vec<(f64, f64)> = links.iter().map(|l| (l.center.x, l.center.y)).collect();
     let link_dirs: Vec<LinkDirection> = links.iter().map(|l| l.direction).collect();
-    let l = CompressedLinkKernel::build(&link_points, &link_dirs, spec, &l_entry)?;
+    let l = CompressedLinkKernel::build_with_rows(&link_points, &link_dirs, spec, &l_row)?;
 
     let r_dc = zs.dc_resistance();
     let r_link: Vec<f64> = links
@@ -1395,33 +1475,40 @@ pub fn compress_link_matrices(
         Testing::PointMatching => None,
         Testing::Galerkin { order } => Some(GaussLegendre::new(order.max(2))),
     };
-    let l_entry = |i: usize, j: usize| -> f64 {
-        let (a, b) = if i <= j { (i, j) } else { (j, i) };
-        if links[a].direction != links[b].direction {
-            return 0.0; // orthogonal currents: zero quasi-static mutual
-        }
-        let off = (
-            links[a].center.x - links[b].center.x,
-            links[a].center.y - links[b].center.y,
-        );
-        let integral = match &quad {
-            None => g_a.panel_integral(off, cell) * area,
-            Some(q) => g_a.panel_galerkin(off, cell, cell, q) * area,
-        };
-        let w = match links[a].direction {
+    let l_row = |i: usize, cols: &[usize], out: &mut [f64]| {
+        let w = match links[i].direction {
             LinkDirection::X => dy,
             LinkDirection::Y => dx,
         };
-        let lump = if a == b && !diag_lump.is_empty() {
-            diag_lump[a]
-        } else {
-            0.0
-        };
-        integral / (w * w) + lump
+        let mut ox = Vec::with_capacity(cols.len());
+        let mut oy = Vec::with_capacity(cols.len());
+        let mut keep = Vec::with_capacity(cols.len());
+        for (t, &j) in cols.iter().enumerate() {
+            let (a, b) = if i <= j { (i, j) } else { (j, i) };
+            if links[a].direction != links[b].direction {
+                continue; // orthogonal currents: zero quasi-static mutual
+            }
+            keep.push(t);
+            ox.push(links[a].center.x - links[b].center.x);
+            oy.push(links[a].center.y - links[b].center.y);
+        }
+        let mut vals = vec![0.0; keep.len()];
+        kernel_row(&g_a, &ox, &oy, cell, &quad, &mut vals);
+        out.fill(0.0);
+        for (k, &t) in keep.iter().enumerate() {
+            let j = cols[t];
+            let lump = if i == j && !diag_lump.is_empty() {
+                diag_lump[i]
+            } else {
+                0.0
+            };
+            let integral = vals[k] * area;
+            out[t] = integral / (w * w) + lump;
+        }
     };
     let link_points: Vec<(f64, f64)> = links.iter().map(|l| (l.center.x, l.center.y)).collect();
     let link_dirs: Vec<LinkDirection> = links.iter().map(|l| l.direction).collect();
-    let l = CompressedLinkKernel::build(&link_points, &link_dirs, spec, &l_entry)?;
+    let l = CompressedLinkKernel::build_with_rows(&link_points, &link_dirs, spec, &l_row)?;
     let r_dc = zs.dc_resistance();
     let r_link: Vec<f64> = links
         .iter()

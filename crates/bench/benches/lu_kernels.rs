@@ -1,0 +1,347 @@
+//! Blocked cache-tiled LU vs the naive scalar factorization, and batched
+//! vs scalar BEM panel quadrature.
+//!
+//! The naive baseline is the pre-blocking right-looking elimination that
+//! `pdn_num::LuDecomposition` used to run unconditionally (and still runs
+//! for `n <= 64`), inlined here verbatim so the comparison survives future
+//! refactors of the library. Factor and multi-RHS solve are timed at
+//! `n ∈ {64, 256, 1024}` for both `f64` and `c64`.
+//!
+//! Acceptance bar: the blocked complex factorization must be **≥ 2×**
+//! faster than the scalar baseline at `n = 1024`, and the batched panel
+//! quadrature must beat the per-entry scalar fill on the 1120-cell
+//! SSN-study board (where it is also checked bit-identical entry by
+//! entry). A machine-readable summary is written to `BENCH_lu.json` in
+//! the crate directory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdn_core::prelude::*;
+use pdn_greens::{LayeredKernel, Rectangle};
+use pdn_num::{c64, LuDecomposition, Matrix, Scalar};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const NRHS: usize = 32;
+
+fn rng_f64(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+}
+
+fn real_system(n: usize, seed: u64) -> Matrix<f64> {
+    let mut s = seed | 1;
+    Matrix::from_fn(n, n, |i, j| {
+        rng_f64(&mut s) + if i == j { 4.0 } else { 0.0 }
+    })
+}
+
+fn complex_system(n: usize, seed: u64) -> Matrix<c64> {
+    let mut s = seed | 1;
+    Matrix::from_fn(n, n, |i, j| {
+        let d = if i == j { 4.0 } else { 0.0 };
+        c64::new(rng_f64(&mut s) + d, rng_f64(&mut s))
+    })
+}
+
+/// The pre-blocking scalar right-looking LU with partial pivoting —
+/// the historical `LuDecomposition::new` hot loop, kept as the baseline.
+#[allow(clippy::assign_op_pattern)]
+fn naive_factor<T: Scalar>(a: Matrix<T>) -> (Matrix<T>, Vec<usize>) {
+    let n = a.nrows();
+    let mut lu = a;
+    let mut perm: Vec<usize> = (0..n).collect();
+    for k in 0..n {
+        let mut p = k;
+        let mut pmax = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        assert!(pmax > 0.0, "bench matrix must be nonsingular");
+        if p != k {
+            perm.swap(p, k);
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(p, j)];
+                lu[(p, j)] = tmp;
+            }
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let m = lu[(i, k)] / pivot;
+            lu[(i, k)] = m;
+            if m == T::zero() {
+                continue;
+            }
+            for j in (k + 1)..n {
+                let u = lu[(k, j)];
+                lu[(i, j)] = lu[(i, j)] - m * u;
+            }
+        }
+    }
+    (lu, perm)
+}
+
+/// Column-at-a-time substitution against the naive factors — the
+/// historical multi-RHS path (one permute/forward/backward per column).
+#[allow(clippy::assign_op_pattern)]
+fn naive_solve_matrix<T: Scalar>(lu: &Matrix<T>, perm: &[usize], b: &Matrix<T>) -> Matrix<T> {
+    let n = lu.nrows();
+    let nrhs = b.ncols();
+    let mut x = Matrix::zeros(n, nrhs);
+    let mut col = vec![T::zero(); n];
+    for j in 0..nrhs {
+        for i in 0..n {
+            col[i] = b[(perm[i], j)];
+        }
+        for i in 0..n {
+            let mut sum = col[i];
+            for k in 0..i {
+                sum = sum - lu[(i, k)] * col[k];
+            }
+            col[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = col[i];
+            for k in (i + 1)..n {
+                sum = sum - lu[(i, k)] * col[k];
+            }
+            col[i] = sum / lu[(i, i)];
+        }
+        for i in 0..n {
+            x[(i, j)] = col[i];
+        }
+    }
+    x
+}
+
+const REPS: usize = 3;
+
+/// Best-of-[`REPS`] wall-clock — the shared-runner noise floor is well
+/// above the per-rep spread, so the minimum is the stable estimator.
+fn timed<T>(mut run: impl FnMut() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let mut out = black_box(run());
+    let mut best = t0.elapsed().as_secs_f64();
+    for _ in 1..REPS {
+        let t0 = Instant::now();
+        out = black_box(run());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+/// Worst relative entry deviation between two equally-shaped matrices.
+fn max_rel_dev<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> f64 {
+    let scale = a.max_abs().max(1e-300);
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).abs() / scale)
+        .fold(0.0f64, f64::max)
+}
+
+struct LuRecord {
+    label: &'static str,
+    n: usize,
+    scalar_factor_s: f64,
+    blocked_factor_s: f64,
+    scalar_solve_s: f64,
+    blocked_solve_s: f64,
+    dev: f64,
+}
+
+fn bench_lu_size<T: Scalar + pdn_num::GemmScalar>(
+    label: &'static str,
+    n: usize,
+    a: Matrix<T>,
+) -> LuRecord {
+    let b = Matrix::from_fn(n, NRHS, |i, j| {
+        T::from_f64(((i * 7 + j * 13) as f64 * 0.017).sin())
+    });
+    let (t_sf, (nlu, nperm)) = timed(|| naive_factor(a.clone()));
+    let (t_ss, x_naive) = timed(|| naive_solve_matrix(&nlu, &nperm, &b));
+    let (t_bf, lu) = timed(|| LuDecomposition::new(a.clone()).expect("factorable"));
+    let (t_bs, x_blocked) = timed(|| lu.solve_matrix(&b).expect("solvable"));
+    let dev = max_rel_dev(&x_naive, &x_blocked);
+    assert!(
+        dev < 1e-9,
+        "{label} n={n}: blocked and scalar solutions diverge ({dev:.3e})"
+    );
+    LuRecord {
+        label,
+        n,
+        scalar_factor_s: t_sf,
+        blocked_factor_s: t_bf,
+        scalar_solve_s: t_ss,
+        blocked_solve_s: t_bs,
+        dev,
+    }
+}
+
+/// Per-entry scalar upper-triangle P fill — the historical dense
+/// assembly loop in `pdn_bem::assemble_matrices`.
+fn scalar_p_fill(g: &LayeredKernel, centers: &[Point], cell: Rectangle, area: f64) -> Matrix<f64> {
+    let n = centers.len();
+    let mut p = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = g.panel_integral(
+                (centers[i].x - centers[j].x, centers[i].y - centers[j].y),
+                cell,
+            ) / area;
+            p[(i, j)] = v;
+            p[(j, i)] = v;
+        }
+    }
+    p
+}
+
+/// Row-at-a-time batched fill using `panel_integral_batch` — the path
+/// dense assembly takes today.
+fn batched_p_fill(g: &LayeredKernel, centers: &[Point], cell: Rectangle, area: f64) -> Matrix<f64> {
+    let n = centers.len();
+    let mut p = Matrix::zeros(n, n);
+    let mut ox = Vec::with_capacity(n);
+    let mut oy = Vec::with_capacity(n);
+    let mut row = vec![0.0; n];
+    for i in 0..n {
+        ox.clear();
+        oy.clear();
+        for j in i..n {
+            ox.push(centers[i].x - centers[j].x);
+            oy.push(centers[i].y - centers[j].y);
+        }
+        let row = &mut row[..n - i];
+        g.panel_integral_batch(&ox, &oy, cell, row);
+        for (t, &v) in row.iter().enumerate() {
+            let v = v / area;
+            p[(i, i + t)] = v;
+            p[(i + t, i)] = v;
+        }
+    }
+    p
+}
+
+fn lu_kernels_bench(c: &mut Criterion) {
+    println!(
+        "--- blocked cache-tiled LU vs scalar baseline, {NRHS} RHS \
+         (target >= 2x complex factor at n=1024) ---"
+    );
+    let mut json = String::from("[\n");
+    let mut records = Vec::new();
+    for &n in &[64usize, 256, 1024] {
+        records.push(bench_lu_size("f64", n, real_system(n, 0x5EED)));
+        records.push(bench_lu_size("c64", n, complex_system(n, 0x5EED)));
+    }
+    for r in &records {
+        let f_speedup = r.scalar_factor_s / r.blocked_factor_s;
+        let s_speedup = r.scalar_solve_s / r.blocked_solve_s;
+        println!(
+            "  {:3} n={:5}: factor {:9.3} ms -> {:9.3} ms ({f_speedup:5.2}x) | \
+             solve[{NRHS}] {:9.3} ms -> {:9.3} ms ({s_speedup:5.2}x) | dev {:.1e}",
+            r.label,
+            r.n,
+            r.scalar_factor_s * 1e3,
+            r.blocked_factor_s * 1e3,
+            r.scalar_solve_s * 1e3,
+            r.blocked_solve_s * 1e3,
+            r.dev,
+        );
+        writeln!(
+            json,
+            "  {{\"kind\": \"lu\", \"scalar\": \"{}\", \"n\": {}, \"nrhs\": {NRHS}, \
+             \"scalar_factor_seconds\": {:.6}, \"blocked_factor_seconds\": {:.6}, \
+             \"factor_speedup\": {f_speedup:.2}, \
+             \"scalar_solve_seconds\": {:.6}, \"blocked_solve_seconds\": {:.6}, \
+             \"solve_speedup\": {s_speedup:.2}, \"max_rel_dev\": {:.3e}}},",
+            r.label,
+            r.n,
+            r.scalar_factor_s,
+            r.blocked_factor_s,
+            r.scalar_solve_s,
+            r.blocked_solve_s,
+            r.dev,
+        )
+        .unwrap();
+        if r.label == "c64" && r.n == 1024 {
+            assert!(
+                f_speedup >= 2.0,
+                "complex blocked factor speedup {f_speedup:.2}x at n=1024 below the 2x bar"
+            );
+        }
+    }
+
+    // --- batched panel quadrature on the 1120-cell SSN-study board ------
+    let mesh =
+        PlaneMesh::build(&Polygon::rectangle(inch(10.0), inch(7.0)), inch(0.25)).expect("meshable");
+    let n = mesh.cell_count();
+    let g = LayeredKernel::scalar_confined(4.5, mil(30.0));
+    let cell = Rectangle::new(mesh.dx(), mesh.dy());
+    let area = mesh.dx() * mesh.dy();
+    let centers = mesh.cell_centers();
+    let (t_scalar, p_scalar) = timed(|| scalar_p_fill(&g, centers, cell, area));
+    let (t_batch, p_batch) = timed(|| batched_p_fill(&g, centers, cell, area));
+    assert_eq!(
+        p_scalar.as_slice(),
+        p_batch.as_slice(),
+        "batched P fill must be bit-identical to the scalar fill"
+    );
+    let bem_speedup = t_scalar / t_batch;
+    println!(
+        "  bem n={n:5}: dense P fill {:9.3} ms -> {:9.3} ms ({bem_speedup:5.2}x, bit-identical)",
+        t_scalar * 1e3,
+        t_batch * 1e3,
+    );
+    assert!(
+        bem_speedup > 1.0,
+        "batched panel quadrature speedup {bem_speedup:.2}x must beat the scalar fill"
+    );
+    writeln!(
+        json,
+        "  {{\"kind\": \"bem_dense_p\", \"cells\": {n}, \
+         \"scalar_seconds\": {t_scalar:.6}, \"batched_seconds\": {t_batch:.6}, \
+         \"speedup\": {bem_speedup:.2}, \"bit_identical\": true}},"
+    )
+    .unwrap();
+
+    json.truncate(json.trim_end().trim_end_matches(',').len());
+    json.push_str("\n]\n");
+    std::fs::write("BENCH_lu.json", json).expect("writable BENCH_lu.json");
+
+    // Criterion timings at n=256, where one iteration is milliseconds.
+    let a_r = real_system(256, 0x5EED);
+    let a_c = complex_system(256, 0x5EED);
+    let mut grp = c.benchmark_group("lu_kernels");
+    grp.sample_size(10);
+    grp.bench_with_input(BenchmarkId::new("factor_f64", 256), &(), |bch, ()| {
+        bch.iter(|| LuDecomposition::new(black_box(a_r.clone())).expect("factorable"));
+    });
+    grp.bench_with_input(BenchmarkId::new("factor_c64", 256), &(), |bch, ()| {
+        bch.iter(|| LuDecomposition::new(black_box(a_c.clone())).expect("factorable"));
+    });
+    grp.bench_with_input(
+        BenchmarkId::new("factor_f64_scalar", 256),
+        &(),
+        |bch, ()| {
+            bch.iter(|| naive_factor(black_box(a_r.clone())));
+        },
+    );
+    grp.bench_with_input(
+        BenchmarkId::new("factor_c64_scalar", 256),
+        &(),
+        |bch, ()| {
+            bch.iter(|| naive_factor(black_box(a_c.clone())));
+        },
+    );
+    grp.finish();
+}
+
+criterion_group!(benches, lu_kernels_bench);
+criterion_main!(benches);

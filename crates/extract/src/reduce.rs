@@ -143,6 +143,7 @@ pub fn kron_reduce_blocks(
 /// # Panics
 ///
 /// Panics on inconsistent block dimensions or `panel == 0`.
+#[allow(clippy::type_complexity)]
 pub fn kron_reduce_operator(
     m_kk: &Matrix<f64>,
     m_ke: &Matrix<f64>,

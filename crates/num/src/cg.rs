@@ -309,6 +309,7 @@ fn axpys_grouped(out: &mut [f64], terms: &[(f64, &Vec<f64>)]) {
 /// numerically independent directions. Returns `(pivots, l)` where `l`
 /// is the lower-triangular factor over pivot positions:
 /// `S[piv[i], piv[j]] = Σ_t l[i][t]·l[j][t]`.
+#[allow(clippy::needless_range_loop)]
 fn pivoted_cholesky(s: &[Vec<f64>], thresh: f64) -> (Vec<usize>, Vec<Vec<f64>>) {
     let m = s.len();
     let mut order: Vec<usize> = (0..m).collect();
@@ -411,6 +412,7 @@ fn chol_solve_cols(l: &[Vec<f64>], rhs: &mut [Vec<f64>]) {
 /// residual, requested tolerance, and a Jacobi hint) when `max_iter` is
 /// exhausted, and [`IterativeSolveError::Breakdown`] when the operator
 /// shows non-positive curvature.
+#[allow(clippy::type_complexity, clippy::needless_range_loop)]
 pub fn solve_spd_block(
     n: usize,
     apply_block: &dyn Fn(&[Vec<f64>]) -> Vec<Vec<f64>>,
@@ -773,6 +775,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn block_deflates_duplicate_columns() {
         // Two identical RHS columns make the direction panel rank
         // deficient from iteration one; the solver must deflate, not

@@ -6,7 +6,12 @@
 //! extraction. It also underpins the generalized symmetric-definite
 //! eigensolver used for transmission-line modal analysis.
 
-use crate::{Matrix, SolveMatrixError, Vector};
+use crate::gemm::{GemmScalar, BLOCK, ROW_TILE};
+use crate::{parallel, Matrix, SolveMatrixError, Vector};
+
+/// Minimum multiply-accumulate count before a trailing update is fanned
+/// out over worker threads (same rationale and value as the LU module).
+const PAR_MIN_MACS: usize = 1 << 18;
 
 /// A Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
 /// matrix.
@@ -35,6 +40,16 @@ impl CholeskyDecomposition {
     /// Only the lower triangle of `a` is read, so slight asymmetry from
     /// floating-point assembly noise is tolerated.
     ///
+    /// The factorization is blocked like the LU: each [`BLOCK`]-wide panel
+    /// is factored by the classical scalar recurrence (restricted to
+    /// within-panel columns), and the trailing symmetric update
+    /// `A₂₂ -= L₂₁·L₂₁ᵀ` goes through the cache-tiled [`crate::gemm`]
+    /// microkernel, fanned over [`parallel`] row tiles when large enough
+    /// to pay for the threads. Tile sizes are
+    /// fixed constants, so the factor is bit-identical for any
+    /// `PDN_THREADS`; matrices up to one block (`n ≤ 64`) reproduce the
+    /// historical scalar arithmetic exactly.
+    ///
     /// # Errors
     ///
     /// Returns [`SolveMatrixError::NotSquare`] for non-square input and
@@ -49,22 +64,83 @@ impl CholeskyDecomposition {
         }
         let n = a.nrows();
         let mut l = Matrix::zeros(n, n);
-        for j in 0..n {
-            let mut d = a[(j, j)];
-            for k in 0..j {
-                d -= l[(j, k)] * l[(j, k)];
+        for i in 0..n {
+            for j in 0..=i {
+                l[(i, j)] = a[(i, j)];
             }
-            if d <= 0.0 || !d.is_finite() {
-                return Err(SolveMatrixError::Singular { column: j });
-            }
-            let djj = d.sqrt();
-            l[(j, j)] = djj;
-            for i in (j + 1)..n {
-                let mut s = a[(i, j)];
-                for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
+        }
+        let data = l.as_mut_slice();
+        let mut k0 = 0;
+        while k0 < n {
+            let k1 = (k0 + BLOCK).min(n);
+            let kb = k1 - k0;
+            // Panel: columns k0..k1, rows k0..n. Contributions from columns
+            // before k0 were already applied by earlier trailing updates.
+            for j in k0..k1 {
+                let mut d = data[j * n + j];
+                for k in k0..j {
+                    d -= data[j * n + k] * data[j * n + k];
                 }
-                l[(i, j)] = s / djj;
+                if d <= 0.0 || !d.is_finite() {
+                    return Err(SolveMatrixError::Singular { column: j });
+                }
+                let djj = d.sqrt();
+                data[j * n + j] = djj;
+                for i in (j + 1)..n {
+                    let mut s = data[i * n + j];
+                    for k in k0..j {
+                        s -= data[i * n + k] * data[j * n + k];
+                    }
+                    data[i * n + j] = s / djj;
+                }
+            }
+            // Trailing symmetric update A22 -= L21·L21ᵀ through the GEMM
+            // microkernel. The rectangular tiles also write the strictly
+            // upper part of the trailing block; those entries are never
+            // read by later panels and are zeroed below.
+            if k1 < n {
+                let nr = n - k1;
+                let nc = n - k1;
+                let mut l21 = Vec::with_capacity(nr * kb);
+                for r in 0..nr {
+                    l21.extend_from_slice(&data[(k1 + r) * n + k0..(k1 + r) * n + k0 + kb]);
+                }
+                let mut l21t = vec![0.0f64; kb * nc];
+                for k in 0..kb {
+                    for j in 0..nc {
+                        l21t[k * nc + j] = l21[j * kb + k];
+                    }
+                }
+                let (_, bottom) = data.split_at_mut(k1 * n);
+                let tile = |ci: usize, chunk: &mut [f64]| {
+                    let rows = chunk.len() / n;
+                    f64::gemm_sub(
+                        &mut chunk[k1..],
+                        n,
+                        rows,
+                        nc,
+                        &l21[ci * ROW_TILE * kb..],
+                        kb,
+                        &l21t,
+                        nc,
+                        kb,
+                    );
+                };
+                if nr * nc * kb >= PAR_MIN_MACS {
+                    parallel::par_for_each_chunk_mut(bottom, ROW_TILE * n, tile);
+                } else {
+                    for (ci, chunk) in bottom.chunks_mut(ROW_TILE * n).enumerate() {
+                        tile(ci, chunk);
+                    }
+                }
+            }
+            k0 = k1;
+        }
+        // Scrub the scratch the rectangular trailing tiles left above the
+        // diagonal so `l()` is a clean lower-triangular factor.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                data[i * n + j] = 0.0;
             }
         }
         Ok(CholeskyDecomposition { l })
@@ -242,6 +318,74 @@ mod tests {
         let direct = ch.solve(&b).unwrap();
         for i in 0..5 {
             assert!(approx_eq(x[i], direct[i], 1e-12));
+        }
+    }
+
+    /// The pre-blocking scalar kernel, kept for equivalence testing.
+    fn factor_scalar_reference(a: &Matrix<f64>) -> Matrix<f64> {
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        l
+    }
+
+    #[test]
+    fn small_factor_bit_identical_to_scalar_reference() {
+        for n in [1usize, 5, 33, 64] {
+            let a = spd(n);
+            let blocked = CholeskyDecomposition::new(&a).unwrap();
+            let reference = factor_scalar_reference(&a);
+            for i in 0..n {
+                for j in 0..=i {
+                    assert_eq!(
+                        blocked.l()[(i, j)].to_bits(),
+                        reference[(i, j)].to_bits(),
+                        "n={n} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_factor_matches_scalar_reference_large() {
+        let n = 150;
+        let a = spd(n);
+        let blocked = CholeskyDecomposition::new(&a).unwrap();
+        let reference = factor_scalar_reference(&a);
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    approx_eq(blocked.l()[(i, j)], reference[(i, j)], 1e-10),
+                    "({i},{j}): {} vs {}",
+                    blocked.l()[(i, j)],
+                    reference[(i, j)]
+                );
+            }
+            // The strict upper triangle must be scrubbed clean.
+            for j in (i + 1)..n {
+                assert_eq!(blocked.l()[(i, j)], 0.0);
+            }
+        }
+        let back = blocked.l().matmul(&blocked.l().transpose());
+        for i in 0..n {
+            for j in 0..n {
+                assert!(approx_eq(back[(i, j)], a[(i, j)], 1e-9), "({i},{j})");
+            }
         }
     }
 

@@ -32,6 +32,7 @@ pub mod cholesky;
 pub mod complex;
 pub mod eigen;
 pub mod fft;
+pub mod gemm;
 pub mod lu;
 pub mod matrix;
 pub mod parallel;
@@ -50,6 +51,7 @@ pub use eigen::{
     symmetric_eigen, SymmetricEigen,
 };
 pub use fft::{fft, ifft, next_pow2, real_fft_magnitude};
+pub use gemm::GemmScalar;
 pub use lu::{LuDecomposition, SolveMatrixError};
 pub use matrix::{Matrix, Vector};
 pub use precond::{BlockJacobiPreconditioner, JacobiPreconditioner, Preconditioner};

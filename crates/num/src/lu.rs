@@ -1,13 +1,37 @@
-//! LU factorization with partial pivoting.
+//! Blocked LU factorization with partial pivoting.
 //!
 //! This is the single direct solver behind the whole toolkit: the BEM port
 //! solve, the capacitance inversion `C = P⁻¹`, the reluctance computation
 //! `B = AᵀL⁻¹A`, the MNA transient step (factor once, back-substitute every
 //! step — the paper's "efficient circuit solver"), and the AC sweep.
+//!
+//! The factorization is right-looking and blocked: each [`gemm::BLOCK`]-wide
+//! panel is factored with partial pivoting by the classical scalar
+//! recurrence, the matching `U` row block is obtained by a lane-group
+//! triangular solve, and the trailing matrix is updated through the
+//! cache-tiled [`gemm`] microkernel — fanned out over
+//! [`parallel`](crate::parallel) row tiles when the update is large enough
+//! to pay for the threads. Tile and block sizes are fixed constants, never
+//! derived from the worker count, so factors and solves are **bit-identical
+//! for any `PDN_THREADS`**. For matrices up to one block (`n ≤ 64`) the
+//! blocked loop degenerates to exactly the scalar elimination, so small
+//! systems (ports, MNA stamps, transmission lines) keep their historical
+//! bit patterns.
+//!
+//! Set `PDN_LU_STATS=1` to print a per-factorization stderr line with the
+//! matrix dimension, block size, panel/solve/update time split, and the
+//! effective GFLOP/s (matrices of at least one block only).
 
-use crate::{Matrix, Scalar, Vector};
+use crate::gemm::{self, GemmScalar, BLOCK, ROW_TILE};
+use crate::{parallel, Matrix, Vector};
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
+
+/// Minimum multiply-accumulate count before a trailing update is fanned
+/// out over worker threads; below this the spawn cost dominates. The
+/// serial and parallel paths compute identical tiles in either case.
+const PAR_MIN_MACS: usize = 1 << 18;
 
 /// Error returned when a matrix cannot be factored or a solve is malformed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +55,15 @@ pub enum SolveMatrixError {
         /// Provided right-hand-side length.
         got: usize,
     },
+    /// The input matrix contains a NaN or infinite entry. Rejected up
+    /// front: a NaN entry would otherwise poison the elimination and
+    /// surface as a misleading [`Singular`](Self::Singular) error.
+    NonFinite {
+        /// Row of the first non-finite entry (row-major scan order).
+        row: usize,
+        /// Column of the first non-finite entry.
+        col: usize,
+    },
 }
 
 impl fmt::Display for SolveMatrixError {
@@ -45,11 +78,21 @@ impl fmt::Display for SolveMatrixError {
             SolveMatrixError::DimensionMismatch { expected, got } => {
                 write!(f, "right-hand side has length {got}, expected {expected}")
             }
+            SolveMatrixError::NonFinite { row, col } => {
+                write!(
+                    f,
+                    "matrix entry ({row},{col}) is NaN or infinite; cannot factor"
+                )
+            }
         }
     }
 }
 
 impl Error for SolveMatrixError {}
+
+fn stats_enabled() -> bool {
+    std::env::var("PDN_LU_STATS").as_deref() == Ok("1")
+}
 
 /// An LU factorization `P·A = L·U` with partial (row) pivoting.
 ///
@@ -78,7 +121,7 @@ pub struct LuDecomposition<T> {
     sign: f64,
 }
 
-impl<T: Scalar> fmt::Debug for LuDecomposition<T> {
+impl<T: GemmScalar> fmt::Debug for LuDecomposition<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LuDecomposition")
             .field("dim", &self.lu.nrows())
@@ -87,14 +130,15 @@ impl<T: Scalar> fmt::Debug for LuDecomposition<T> {
     }
 }
 
-impl<T: Scalar> LuDecomposition<T> {
+impl<T: GemmScalar> LuDecomposition<T> {
     /// Factors the matrix, consuming it.
     ///
     /// # Errors
     ///
-    /// Returns [`SolveMatrixError::NotSquare`] for non-square input and
-    /// [`SolveMatrixError::Singular`] when a pivot underflows the numerical
-    /// threshold.
+    /// Returns [`SolveMatrixError::NotSquare`] for non-square input,
+    /// [`SolveMatrixError::NonFinite`] when any entry is NaN or infinite,
+    /// and [`SolveMatrixError::Singular`] when a pivot underflows the
+    /// numerical threshold.
     pub fn new(a: Matrix<T>) -> Result<Self, SolveMatrixError> {
         if !a.is_square() {
             return Err(SolveMatrixError::NotSquare {
@@ -103,47 +147,133 @@ impl<T: Scalar> LuDecomposition<T> {
             });
         }
         let n = a.nrows();
+        if let Some(idx) = a.as_slice().iter().position(|v| !v.is_finite()) {
+            return Err(SolveMatrixError::NonFinite {
+                row: idx / n,
+                col: idx % n,
+            });
+        }
         let mut lu = a;
         let mut perm: Vec<usize> = (0..n).collect();
         let mut sign = 1.0;
         let scale = lu.max_abs().max(1.0);
         let tiny = scale * 1e-300;
-        for k in 0..n {
-            // Partial pivoting: find the largest entry in column k at/below
-            // the diagonal.
-            let mut p = k;
-            let mut pmax = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > pmax {
-                    pmax = v;
-                    p = i;
+
+        let stats = stats_enabled() && n >= BLOCK;
+        let t_start = stats.then(Instant::now);
+        let mut panel_s = 0.0f64;
+        let mut trsm_s = 0.0f64;
+        let mut update_s = 0.0f64;
+
+        let mut k0 = 0;
+        while k0 < n {
+            let k1 = (k0 + BLOCK).min(n);
+            let kb = k1 - k0;
+            let t0 = stats.then(Instant::now);
+
+            // --- Panel factorization: columns k0..k1, rows k0..n ---------
+            // Classical partial-pivot elimination restricted to the panel
+            // columns; pivot columns are fully updated because every
+            // previous panel already applied its trailing update here.
+            {
+                let data = lu.as_mut_slice();
+                for j in k0..k1 {
+                    let mut p = j;
+                    let mut pmax = data[j * n + j].abs();
+                    for i in (j + 1)..n {
+                        let v = data[i * n + j].abs();
+                        if v > pmax {
+                            pmax = v;
+                            p = i;
+                        }
+                    }
+                    if pmax <= tiny {
+                        return Err(SolveMatrixError::Singular { column: j });
+                    }
+                    if p != j {
+                        perm.swap(p, j);
+                        sign = -sign;
+                        let (lo, hi) = data.split_at_mut(p * n);
+                        lo[j * n..j * n + n].swap_with_slice(&mut hi[..n]);
+                    }
+                    let pivot = data[j * n + j];
+                    // Rank-1 update of the panel columns: split the pivot
+                    // row off so the `U` row and the target rows can be
+                    // borrowed together, then hand the whole sweep to the
+                    // lane-group panel kernel. Same arithmetic, same order
+                    // as the classical loop.
+                    let (top, rest) = data.split_at_mut((j + 1) * n);
+                    let urow = &top[j * n + j + 1..j * n + k1];
+                    T::panel_rank1(rest, n, j, k1, pivot, urow);
                 }
             }
-            if pmax <= tiny {
-                return Err(SolveMatrixError::Singular { column: k });
+            if let Some(t0) = t0 {
+                panel_s += t0.elapsed().as_secs_f64();
             }
-            if p != k {
-                perm.swap(p, k);
-                sign = -sign;
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(p, j)];
-                    lu[(p, j)] = tmp;
+
+            if k1 < n {
+                let nc = n - k1;
+                let nr = n - k1;
+                let data = lu.as_mut_slice();
+                let (top, bottom) = data.split_at_mut(k1 * n);
+
+                // --- U12 := L11⁻¹ · A12 -----------------------------------
+                let t1 = stats.then(Instant::now);
+                let mut l11 = vec![T::zero(); kb * kb];
+                for r in 0..kb {
+                    l11[r * kb..(r + 1) * kb]
+                        .copy_from_slice(&top[(k0 + r) * n + k0..(k0 + r) * n + k1]);
+                }
+                gemm::trsm_lower_unit(&l11, kb, &mut top[k0 * n + k1..], n, nc);
+                if let Some(t1) = t1 {
+                    trsm_s += t1.elapsed().as_secs_f64();
+                }
+
+                // --- Trailing update A22 -= L21 · U12 ---------------------
+                let t2 = stats.then(Instant::now);
+                // Pack L21 contiguously before C is mutated (the multiplier
+                // columns live in the same rows as the update target).
+                let mut l21 = Vec::with_capacity(nr * kb);
+                for r in 0..nr {
+                    l21.extend_from_slice(&bottom[r * n + k0..r * n + k0 + kb]);
+                }
+                let u12 = &top[k0 * n + k1..];
+                let tile = |ci: usize, chunk: &mut [T]| {
+                    let rows = chunk.len() / n;
+                    T::gemm_sub(
+                        &mut chunk[k1..],
+                        n,
+                        rows,
+                        nc,
+                        &l21[ci * ROW_TILE * kb..],
+                        kb,
+                        u12,
+                        n,
+                        kb,
+                    );
+                };
+                if nr * nc * kb >= PAR_MIN_MACS {
+                    parallel::par_for_each_chunk_mut(bottom, ROW_TILE * n, tile);
+                } else {
+                    for (ci, chunk) in bottom.chunks_mut(ROW_TILE * n).enumerate() {
+                        tile(ci, chunk);
+                    }
+                }
+                if let Some(t2) = t2 {
+                    update_s += t2.elapsed().as_secs_f64();
                 }
             }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let m = lu[(i, k)] / pivot;
-                lu[(i, k)] = m;
-                if m == T::zero() {
-                    continue;
-                }
-                for j in (k + 1)..n {
-                    let u = lu[(k, j)];
-                    lu[(i, j)] -= m * u;
-                }
-            }
+            k0 = k1;
+        }
+        if let Some(t_start) = t_start {
+            let total = t_start.elapsed().as_secs_f64();
+            let flops = T::FLOPS_PER_MAC * (n as f64).powi(3) / 3.0;
+            eprintln!(
+                "[pdn-lu] factor {} n={n} nb={BLOCK} panel={panel_s:.3}s trsm={trsm_s:.3}s \
+                 update={update_s:.3}s total={total:.3}s {:.2} GFLOP/s",
+                T::LABEL,
+                flops / total.max(1e-12) / 1e9,
+            );
         }
         Ok(LuDecomposition { lu, perm, sign })
     }
@@ -186,7 +316,11 @@ impl<T: Scalar> LuDecomposition<T> {
         Ok(x)
     }
 
-    /// Solves `A·X = B` for a matrix right-hand side, column by column.
+    /// Solves `A·X = B` for a matrix right-hand side with blocked
+    /// multi-column forward/backward substitution: the permuted right-hand
+    /// sides are solved in place through lane-group triangular kernels and
+    /// [`gemm`] off-diagonal updates — no per-column allocation or
+    /// per-column passes over `L`/`U`.
     ///
     /// # Errors
     ///
@@ -200,15 +334,88 @@ impl<T: Scalar> LuDecomposition<T> {
                 got: b.nrows(),
             });
         }
-        let mut out = Matrix::zeros(n, b.ncols());
-        for j in 0..b.ncols() {
-            let col = b.col(j);
-            let x = self.solve(&col)?;
-            for i in 0..n {
-                out[(i, j)] = x[i];
+        let nrhs = b.ncols();
+        if n == 0 || nrhs == 0 {
+            return Ok(Matrix::zeros(n, nrhs));
+        }
+        let stats = stats_enabled() && n >= BLOCK;
+        let t_start = stats.then(Instant::now);
+
+        let mut x = Matrix::zeros(n, nrhs);
+        for i in 0..n {
+            x.row_mut(i).copy_from_slice(b.row(self.perm[i]));
+        }
+        let lu = self.lu.as_slice();
+        let xd = x.as_mut_slice();
+        let n_blocks = n.div_ceil(BLOCK);
+
+        // --- Forward: L (unit lower) ------------------------------------
+        for bi in 0..n_blocks {
+            let k0 = bi * BLOCK;
+            let k1 = (k0 + BLOCK).min(n);
+            let kb = k1 - k0;
+            let mut l11 = vec![T::zero(); kb * kb];
+            for r in 0..kb {
+                l11[r * kb..(r + 1) * kb]
+                    .copy_from_slice(&lu[(k0 + r) * n + k0..(k0 + r) * n + k1]);
+            }
+            gemm::trsm_lower_unit(&l11, kb, &mut xd[k0 * nrhs..k1 * nrhs], nrhs, nrhs);
+            if k1 < n {
+                let (head, tail) = xd.split_at_mut(k1 * nrhs);
+                let bmat = &head[k0 * nrhs..];
+                let tile = |ci: usize, chunk: &mut [T]| {
+                    let rows = chunk.len() / nrhs;
+                    let a = &lu[(k1 + ci * ROW_TILE) * n + k0..];
+                    T::gemm_sub(chunk, nrhs, rows, nrhs, a, n, bmat, nrhs, kb);
+                };
+                if (n - k1) * nrhs * kb >= PAR_MIN_MACS {
+                    parallel::par_for_each_chunk_mut(tail, ROW_TILE * nrhs, tile);
+                } else {
+                    for (ci, chunk) in tail.chunks_mut(ROW_TILE * nrhs).enumerate() {
+                        tile(ci, chunk);
+                    }
+                }
             }
         }
-        Ok(out)
+
+        // --- Backward: U (non-unit upper) -------------------------------
+        for bi in (0..n_blocks).rev() {
+            let k0 = bi * BLOCK;
+            let k1 = (k0 + BLOCK).min(n);
+            let kb = k1 - k0;
+            let mut u11 = vec![T::zero(); kb * kb];
+            for r in 0..kb {
+                u11[r * kb + r..(r + 1) * kb]
+                    .copy_from_slice(&lu[(k0 + r) * n + k0 + r..(k0 + r) * n + k1]);
+            }
+            gemm::trsm_upper(&u11, kb, &mut xd[k0 * nrhs..k1 * nrhs], nrhs, nrhs);
+            if k0 > 0 {
+                let (head, tail) = xd.split_at_mut(k0 * nrhs);
+                let bmat = &tail[..kb * nrhs];
+                let tile = |ci: usize, chunk: &mut [T]| {
+                    let rows = chunk.len() / nrhs;
+                    let a = &lu[ci * ROW_TILE * n + k0..];
+                    T::gemm_sub(chunk, nrhs, rows, nrhs, a, n, bmat, nrhs, kb);
+                };
+                if k0 * nrhs * kb >= PAR_MIN_MACS {
+                    parallel::par_for_each_chunk_mut(head, ROW_TILE * nrhs, tile);
+                } else {
+                    for (ci, chunk) in head.chunks_mut(ROW_TILE * nrhs).enumerate() {
+                        tile(ci, chunk);
+                    }
+                }
+            }
+        }
+        if let Some(t_start) = t_start {
+            let total = t_start.elapsed().as_secs_f64();
+            let flops = T::FLOPS_PER_MAC * (n as f64) * (n as f64) * nrhs as f64;
+            eprintln!(
+                "[pdn-lu] solve {} n={n} rhs={nrhs} nb={BLOCK} total={total:.3}s {:.2} GFLOP/s",
+                T::LABEL,
+                flops / total.max(1e-12) / 1e9,
+            );
+        }
+        Ok(x)
     }
 
     /// Computes the matrix inverse.
@@ -248,7 +455,7 @@ impl<T: Scalar> LuDecomposition<T> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn solve<T: Scalar>(a: Matrix<T>, b: &[T]) -> Result<Vector<T>, SolveMatrixError> {
+pub fn solve<T: GemmScalar>(a: Matrix<T>, b: &[T]) -> Result<Vector<T>, SolveMatrixError> {
     LuDecomposition::new(a)?.solve(b)
 }
 
@@ -257,14 +464,101 @@ pub fn solve<T: Scalar>(a: Matrix<T>, b: &[T]) -> Result<Vector<T>, SolveMatrixE
 /// # Errors
 ///
 /// See [`LuDecomposition::new`].
-pub fn invert<T: Scalar>(a: Matrix<T>) -> Result<Matrix<T>, SolveMatrixError> {
+pub fn invert<T: GemmScalar>(a: Matrix<T>) -> Result<Matrix<T>, SolveMatrixError> {
     LuDecomposition::new(a)?.inverse()
+}
+
+/// Reference scalar LU kernel: the pre-blocking elimination, kept in-tree
+/// for equivalence testing of the blocked factorization. Returns the
+/// combined `L\U` matrix, the permutation, and the pivot sign.
+#[cfg(test)]
+pub(crate) fn factor_scalar_reference<T: crate::Scalar>(
+    a: Matrix<T>,
+) -> Result<(Matrix<T>, Vec<usize>, f64), SolveMatrixError> {
+    if !a.is_square() {
+        return Err(SolveMatrixError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    let mut lu = a;
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+    let scale = lu.max_abs().max(1.0);
+    let tiny = scale * 1e-300;
+    for k in 0..n {
+        let mut p = k;
+        let mut pmax = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        if pmax <= tiny {
+            return Err(SolveMatrixError::Singular { column: k });
+        }
+        if p != k {
+            perm.swap(p, k);
+            sign = -sign;
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(p, j)];
+                lu[(p, j)] = tmp;
+            }
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let m = lu[(i, k)] / pivot;
+            lu[(i, k)] = m;
+            if m == T::zero() {
+                continue;
+            }
+            for j in (k + 1)..n {
+                let u = lu[(k, j)];
+                lu[(i, j)] -= m * u;
+            }
+        }
+    }
+    Ok((lu, perm, sign))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{approx_eq, c64};
+    use crate::{approx_eq, c64, Scalar};
+    use proptest::prelude::*;
+
+    /// Solve with the reference scalar factors (perm + scalar forward/back
+    /// substitution, exactly the pre-blocking algorithm).
+    fn solve_scalar_reference<T: Scalar>(lu: &Matrix<T>, perm: &[usize], b: &[T]) -> Vec<T> {
+        let n = perm.len();
+        let mut x: Vec<T> = perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= lu[(i, j)] * xj;
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= lu[(i, j)] * xj;
+            }
+            x[i] = s / lu[(i, i)];
+        }
+        x
+    }
+
+    fn rng_f64(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
 
     #[test]
     fn solve_small_real_system() {
@@ -297,6 +591,28 @@ mod tests {
         assert_eq!(
             LuDecomposition::new(a).unwrap_err(),
             SolveMatrixError::NotSquare { rows: 2, cols: 3 }
+        );
+    }
+
+    #[test]
+    fn non_finite_entries_rejected_up_front() {
+        let mut a = Matrix::<f64>::identity(5);
+        a[(2, 3)] = f64::NAN;
+        assert_eq!(
+            LuDecomposition::new(a).unwrap_err(),
+            SolveMatrixError::NonFinite { row: 2, col: 3 }
+        );
+        let mut b = Matrix::<f64>::identity(4);
+        b[(0, 1)] = f64::INFINITY;
+        assert_eq!(
+            LuDecomposition::new(b).unwrap_err(),
+            SolveMatrixError::NonFinite { row: 0, col: 1 }
+        );
+        let mut c = Matrix::<c64>::identity(3);
+        c[(1, 0)] = c64::new(0.0, f64::NEG_INFINITY);
+        assert_eq!(
+            LuDecomposition::new(c).unwrap_err(),
+            SolveMatrixError::NonFinite { row: 1, col: 0 }
         );
     }
 
@@ -371,12 +687,7 @@ mod tests {
     fn random_system_residual_small() {
         // Deterministic pseudo-random fill (LCG) keeps the test hermetic.
         let mut state: u64 = 0x243F_6A88_85A3_08D3;
-        let mut next = move || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
-        };
+        let mut next = move || rng_f64(&mut state);
         let n = 30;
         let a = Matrix::from_fn(n, n, |i, j| next() + if i == j { 4.0 } else { 0.0 });
         let b: Vec<f64> = (0..n).map(|_| next()).collect();
@@ -384,6 +695,148 @@ mod tests {
         let r = a.matvec(&x);
         for i in 0..n {
             assert!(approx_eq(r[i], b[i], 1e-10));
+        }
+    }
+
+    #[test]
+    fn small_matrices_bit_identical_to_scalar_reference() {
+        // Up to one block the panel loop degenerates to exactly the scalar
+        // elimination — the factors must match bit for bit. This pins the
+        // historical results of every small system in the toolkit.
+        let mut state = 0xD1CEu64;
+        for n in [1usize, 2, 7, 33, BLOCK] {
+            let a = Matrix::from_fn(n, n, |i, j| {
+                rng_f64(&mut state) + if i == j { 3.0 } else { 0.0 }
+            });
+            let blocked = LuDecomposition::new(a.clone()).unwrap();
+            let (lu_ref, perm_ref, sign_ref) = factor_scalar_reference(a).unwrap();
+            assert_eq!(blocked.perm, perm_ref, "n={n}");
+            assert_eq!(blocked.sign, sign_ref, "n={n}");
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        blocked.lu[(i, j)].to_bits(),
+                        lu_ref[(i, j)].to_bits(),
+                        "n={n} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Blocked factor + solve + inverse + det agree with the reference
+        /// scalar kernel on random diagonally dominant real systems that
+        /// span several panel widths.
+        #[test]
+        fn blocked_matches_scalar_reference_real(n in 65usize..180, seed in any::<u64>()) {
+            let mut state = seed | 1;
+            let a = Matrix::from_fn(n, n, |i, j| {
+                rng_f64(&mut state) + if i == j { 6.0 } else { 0.0 }
+            });
+            let b: Vec<f64> = (0..n).map(|_| rng_f64(&mut state)).collect();
+            let blocked = LuDecomposition::new(a.clone()).unwrap();
+            let (lu_ref, perm_ref, sign_ref) = factor_scalar_reference(a.clone()).unwrap();
+            // Same pivot sequence on well-separated pivots.
+            prop_assert_eq!(&blocked.perm, &perm_ref);
+            prop_assert_eq!(blocked.sign, sign_ref);
+            // Solutions agree to a tight relative tolerance.
+            let x_blk = blocked.solve(&b).unwrap();
+            let x_ref = solve_scalar_reference(&lu_ref, &perm_ref, &b);
+            for i in 0..n {
+                prop_assert!(approx_eq(x_blk[i], x_ref[i], 1e-9), "x[{}]", i);
+            }
+            // Determinants agree (product of near-identical pivots).
+            let mut det_ref = sign_ref;
+            for i in 0..n {
+                det_ref *= lu_ref[(i, i)];
+            }
+            prop_assert!(approx_eq(blocked.det(), det_ref, 1e-8));
+            // The blocked multi-RHS inverse actually inverts.
+            let inv = blocked.inverse().unwrap();
+            let id = a.matmul(&inv);
+            for i in 0..n {
+                for j in 0..n {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    prop_assert!((id[(i, j)] - expect).abs() < 1e-8, "({},{})", i, j);
+                }
+            }
+        }
+
+        /// Same equivalence for complex systems through the split re/im
+        /// microkernel.
+        #[test]
+        fn blocked_matches_scalar_reference_complex(n in 65usize..150, seed in any::<u64>()) {
+            let mut state = seed | 1;
+            let a = Matrix::from_fn(n, n, |i, j| {
+                let d = if i == j { 6.0 } else { 0.0 };
+                c64::new(rng_f64(&mut state) + d, rng_f64(&mut state))
+            });
+            let b: Vec<c64> = (0..n)
+                .map(|_| c64::new(rng_f64(&mut state), rng_f64(&mut state)))
+                .collect();
+            let blocked = LuDecomposition::new(a.clone()).unwrap();
+            let (lu_ref, perm_ref, _) = factor_scalar_reference(a.clone()).unwrap();
+            prop_assert_eq!(&blocked.perm, &perm_ref);
+            let x_blk = blocked.solve(&b).unwrap();
+            let x_ref = solve_scalar_reference(&lu_ref, &perm_ref, &b);
+            for i in 0..n {
+                let scale = x_ref[i].norm().max(1.0);
+                prop_assert!((x_blk[i] - x_ref[i]).norm() < 1e-9 * scale, "x[{}]", i);
+            }
+            // Multi-RHS path: A · (A⁻¹ B) == B.
+            let nrhs = 9;
+            let bm = Matrix::from_fn(n, nrhs, |_, _| {
+                c64::new(rng_f64(&mut state), rng_f64(&mut state))
+            });
+            let xm = blocked.solve_matrix(&bm).unwrap();
+            let back = a.matmul(&xm);
+            for i in 0..n {
+                for j in 0..nrhs {
+                    prop_assert!((back[(i, j)] - bm[(i, j)]).norm() < 1e-8, "({},{})", i, j);
+                }
+            }
+        }
+
+        /// Pivoting adversaries: exact-zero and tiny diagonals force row
+        /// swaps inside and across panels; the blocked elimination must
+        /// still agree with the reference.
+        #[test]
+        fn blocked_pivoting_matches_reference(n in 66usize..130, seed in any::<u64>()) {
+            let mut state = seed | 1;
+            let a = Matrix::from_fn(n, n, |i, j| {
+                if i == j {
+                    // Zero, tiny, or normal diagonal by position.
+                    match i % 3 {
+                        0 => 0.0,
+                        1 => 1e-13 * rng_f64(&mut state),
+                        _ => rng_f64(&mut state),
+                    }
+                } else if (i + n - j) % n == 1 {
+                    // Strong subdiagonal keeps the matrix nonsingular and
+                    // guarantees swaps.
+                    5.0 + rng_f64(&mut state)
+                } else {
+                    0.25 * rng_f64(&mut state)
+                }
+            });
+            let b: Vec<f64> = (0..n).map(|_| rng_f64(&mut state)).collect();
+            let blocked = LuDecomposition::new(a.clone()).unwrap();
+            let (lu_ref, perm_ref, _) = factor_scalar_reference(a.clone()).unwrap();
+            prop_assert_eq!(&blocked.perm, &perm_ref);
+            let x_blk = blocked.solve(&b).unwrap();
+            let x_ref = solve_scalar_reference(&lu_ref, &perm_ref, &b);
+            for i in 0..n {
+                let scale = x_ref[i].abs().max(1.0);
+                prop_assert!((x_blk[i] - x_ref[i]).abs() < 1e-7 * scale, "x[{}]", i);
+            }
+            // Residual check closes the loop on the blocked path alone.
+            let r = a.matvec(&x_blk);
+            for i in 0..n {
+                prop_assert!((r[i] - b[i]).abs() < 1e-7, "r[{}]", i);
+            }
         }
     }
 }

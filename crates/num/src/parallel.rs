@@ -195,6 +195,73 @@ where
     try_par_map_indexed(items.len(), |i| f(&items[i]))
 }
 
+/// Applies `f` to disjoint consecutive chunks of `data` (`chunk_len`
+/// elements each, the final chunk ragged) on [`worker_count`] scoped
+/// threads. The chunk index is passed alongside each chunk.
+///
+/// Chunk boundaries are fixed by `chunk_len` — never derived from the
+/// worker count — and every chunk is written by exactly one closure call,
+/// so the result is **bit-identical for any `PDN_THREADS`**. Chunks are
+/// dealt to workers round-robin (uniform per-chunk cost is assumed; the
+/// blocked-LU trailing update, the sole hot caller, satisfies that). With
+/// one worker the chunks are processed in ascending order on the calling
+/// thread with no spawns.
+///
+/// # Panics
+///
+/// Panics when `chunk_len == 0` and `data` is non-empty; re-raises a
+/// panic from `f` on the calling thread.
+///
+/// # Examples
+///
+/// ```
+/// let mut v = vec![1.0f64; 10];
+/// pdn_num::parallel::par_for_each_chunk_mut(&mut v, 4, |ci, chunk| {
+///     for x in chunk {
+///         *x += ci as f64;
+///     }
+/// });
+/// assert_eq!(v, [1., 1., 1., 1., 2., 2., 2., 2., 3., 3.]);
+/// ```
+pub fn par_for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = worker_count().min(n_chunks);
+    if workers <= 1 {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(ci, chunk);
+        }
+        return;
+    }
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        per_worker[ci % workers].push((ci, chunk));
+    }
+    thread::scope(|s| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|list| {
+                let f = &f;
+                s.spawn(move || {
+                    for (ci, chunk) in list {
+                        f(ci, chunk);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +299,30 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn chunk_mut_covers_every_element_once() {
+        let mut v = vec![0u32; 1001];
+        par_for_each_chunk_mut(&mut v, 13, |ci, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1 + ci as u32;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, 1 + (i / 13) as u32, "element {i}");
+        }
+    }
+
+    #[test]
+    fn chunk_mut_handles_empty_and_ragged() {
+        let mut empty: Vec<f64> = Vec::new();
+        par_for_each_chunk_mut(&mut empty, 8, |_, _| panic!("no chunks expected"));
+        let mut v = vec![1.0f64; 5];
+        par_for_each_chunk_mut(&mut v, 8, |ci, chunk| {
+            assert_eq!(ci, 0);
+            assert_eq!(chunk.len(), 5);
+        });
     }
 
     #[test]

@@ -64,7 +64,7 @@ impl JacobiPreconditioner {
     /// operator and returns [`IterativeSolveError::Breakdown`] carrying
     /// the offending index — it is never silently substituted.
     pub fn new(diag: &[f64]) -> Result<Self, IterativeSolveError> {
-        if let Some(index) = diag.iter().position(|&d| !(d > 0.0)) {
+        if let Some(index) = diag.iter().position(|&d| d.is_nan() || d <= 0.0) {
             return Err(IterativeSolveError::Breakdown { index: Some(index) });
         }
         Ok(JacobiPreconditioner {
