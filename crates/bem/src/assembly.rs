@@ -64,7 +64,39 @@ impl Default for BemOptions {
     }
 }
 
+impl Testing {
+    /// Appends a canonical byte encoding of the testing scheme to `w`
+    /// (part of the `pdn-service` content hash).
+    pub fn write_canonical(&self, w: &mut pdn_num::ByteWriter) {
+        match self {
+            Testing::PointMatching => w.put_u8(0),
+            Testing::Galerkin { order } => {
+                w.put_u8(1);
+                w.put_usize(*order);
+            }
+        }
+    }
+}
+
 impl BemOptions {
+    /// Appends a canonical byte encoding of every assembly option to `w`.
+    /// Two option sets encode identically exactly when they assemble
+    /// bit-identical kernels, so the `pdn-service` content hash includes
+    /// this — changing the testing scheme, image-term count, substrate
+    /// model, or compression spec changes the hash.
+    pub fn write_canonical(&self, w: &mut pdn_num::ByteWriter) {
+        self.testing.write_canonical(w);
+        w.put_usize(self.image_terms);
+        w.put_u8(self.microstrip as u8);
+        match &self.compression {
+            None => w.put_u8(0),
+            Some(spec) => {
+                w.put_u8(1);
+                spec.write_canonical(w);
+            }
+        }
+    }
+
     /// Galerkin testing of the given order (builder style).
     pub fn with_galerkin(mut self, order: usize) -> Self {
         self.testing = Testing::Galerkin { order };

@@ -113,6 +113,19 @@ impl SolverSpec {
     pub fn is_block(&self) -> bool {
         matches!(self, SolverSpec::BlockCg { .. })
     }
+
+    /// Appends a canonical byte encoding of the solver strategy to `w`
+    /// (part of the `pdn-service` content hash).
+    pub fn write_canonical(&self, w: &mut pdn_num::ByteWriter) {
+        match self {
+            SolverSpec::ScalarJacobi => w.put_u8(0),
+            SolverSpec::BlockCg { panel, coarsen } => {
+                w.put_u8(1);
+                w.put_usize(*panel);
+                w.put_u8(*coarsen as u8);
+            }
+        }
+    }
 }
 
 /// Low-rank compression settings carried on
@@ -147,6 +160,16 @@ impl Default for CompressionSpec {
 }
 
 impl CompressionSpec {
+    /// Appends a canonical byte encoding of the spec to `w` (part of the
+    /// `pdn-service` content hash): any compression-setting change
+    /// changes the encoding bit-exactly.
+    pub fn write_canonical(&self, w: &mut pdn_num::ByteWriter) {
+        w.put_f64(self.tol);
+        w.put_usize(self.leaf_size);
+        w.put_f64(self.eta);
+        self.solver.write_canonical(w);
+    }
+
     /// Compression at the given certified tolerance, other settings at
     /// their defaults.
     pub fn with_tol(tol: f64) -> Self {

@@ -96,7 +96,7 @@ impl SignalLineSpec {
 }
 
 /// A chip: several CMOS output drivers behind package pin parasitics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipSpec {
     /// Instance name (also used for plane port naming).
     pub name: String,
@@ -188,7 +188,13 @@ impl DecapSpec {
 }
 
 /// The complete board: plane + supply + chips + decoupling.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (bit-level on `f64`s) — two
+/// equal boards extract and simulate bit-identically. For the coarser
+/// *extraction* equivalence (same macromodel regardless of declaration
+/// order or scenario-only fields), see
+/// [`canonical_bytes`](BoardSpec::canonical_bytes).
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoardSpec {
     /// The power/ground plane structure (ports are added automatically).
     pub plane: PlaneSpec,
@@ -285,6 +291,92 @@ impl BoardSpec {
         } else {
             self.decap_sites.clone()
         }
+    }
+
+    /// The canonical byte encoding of everything
+    /// [`extract_model`](BoardSpec::extract_model) depends on — and
+    /// *nothing* it does not.
+    ///
+    /// The `pdn-service` extraction cache hashes these bytes to decide
+    /// whether two boards share one extraction, so the encoding obeys two
+    /// rules:
+    ///
+    /// * **Scenario-invariant inputs only.** Geometry, stackup, loss,
+    ///   mesh pitch, BEM options, the port layout (supply point, chip
+    ///   power-pin locations, the [site plan](BoardSpec::site_plan)), the
+    ///   extraction strategy, and the reduced-order spec are included.
+    ///   Everything a [`crate::scenario::Scenario`] may vary — `vcc`,
+    ///   supply R/L, chip electrical parameters and waveforms, which
+    ///   decaps are populated and their values — is excluded.
+    /// * **Order-normalized, bit-exact.** Plane ports, chips, and decap
+    ///   sites are sorted (by name, then location bits) before encoding,
+    ///   so *declaration order never changes the bytes*; every `f64` is
+    ///   encoded via its IEEE-754 bits, so any material edit — however
+    ///   small — does. Chip names are included (they name plane ports);
+    ///   chip electrical fields are not.
+    ///
+    /// Note the normalization means two boards with the same content but
+    /// different declaration orders hash alike even though their
+    /// extracted port *tables* list ports in different orders — the cache
+    /// layers a layout signature on top; see `docs/SERVICE.md`.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut w = pdn_num::ByteWriter::new();
+        let put_point = |w: &mut pdn_num::ByteWriter, p: &Point| {
+            w.put_f64(p.x);
+            w.put_f64(p.y);
+        };
+        // Format tag, bumped if the canonical encoding ever changes
+        // (old cache entries then simply miss).
+        w.put_u32(1);
+        self.plane.write_canonical(&mut w);
+        put_point(&mut w, &self.supply_location);
+        let mut chips: Vec<(&str, Point)> = self
+            .chips
+            .iter()
+            .map(|c| (c.name.as_str(), c.location))
+            .collect();
+        chips.sort_by(|a, b| {
+            (a.0, a.1.x.to_bits(), a.1.y.to_bits()).cmp(&(b.0, b.1.x.to_bits(), b.1.y.to_bits()))
+        });
+        w.put_usize(chips.len());
+        for (name, p) in chips {
+            w.put_str(name);
+            put_point(&mut w, &p);
+        }
+        let mut sites = self.site_plan();
+        sites.sort_by_key(|p| (p.x.to_bits(), p.y.to_bits()));
+        w.put_usize(sites.len());
+        for p in &sites {
+            put_point(&mut w, p);
+        }
+        match &self.extraction {
+            ExtractionStrategy::Monolithic => w.put_u8(0),
+            ExtractionStrategy::Sharded { plan } => {
+                w.put_u8(1);
+                w.put_f64_slice(plan.x_cuts());
+                w.put_f64_slice(plan.y_cuts());
+                match plan.grid_dims() {
+                    None => w.put_u8(0),
+                    Some((nx, ny)) => {
+                        w.put_u8(1);
+                        w.put_usize(nx);
+                        w.put_usize(ny);
+                    }
+                }
+            }
+        }
+        match &self.reduction {
+            None => w.put_u8(0),
+            Some(spec) => {
+                w.put_u8(1);
+                w.put_f64(spec.f_min);
+                w.put_f64(spec.f_max);
+                w.put_usize(spec.points);
+                w.put_f64(spec.rel_tol);
+                w.put_f64(spec.cert_tol);
+            }
+        }
+        w.into_bytes()
     }
 
     /// Extracts the scenario-invariant plane macromodel: ports the plane
@@ -637,6 +729,12 @@ pub struct ExtractedModel {
 enum PlaneModel {
     Monolithic(Box<ExtractedPlane>),
     Sharded(Box<ShardedExtraction>),
+    /// A macromodel restored from serialized [`ModelParts`] rather than
+    /// produced by an extraction in this process. Behaves exactly like
+    /// the model it was saved from for everything [`BoardSpec::wire`]
+    /// consumes; the BEM reference system is never serialized, so
+    /// [`ExtractedModel::plane`] returns `None`.
+    Restored(Box<pdn_extract::EquivalentCircuit>),
     Reduced {
         base: Box<PlaneModel>,
         rom: Arc<PoleResidueModel>,
@@ -657,6 +755,7 @@ impl PlaneModel {
         match self.base() {
             PlaneModel::Monolithic(p) => p.equivalent(),
             PlaneModel::Sharded(s) => s.equivalent(),
+            PlaneModel::Restored(eq) => eq,
             PlaneModel::Reduced { .. } => unreachable!("base() strips the reduction wrapper"),
         }
     }
@@ -707,6 +806,76 @@ impl ExtractedModel {
     pub fn chip_locations(&self) -> &[Point] {
         &self.chip_locations
     }
+
+    /// The supply (VRM) attachment point the extraction was ported for.
+    pub fn supply_location(&self) -> Point {
+        self.supply_location
+    }
+
+    /// Decomposes the model into the serializable [`ModelParts`] closure:
+    /// everything [`BoardSpec::wire`] consumes, nothing more. The BEM
+    /// reference system of a monolithic extraction is intentionally
+    /// dropped — it exists for verification against fresh extractions,
+    /// not for wiring — so a round trip through
+    /// [`from_parts`](ExtractedModel::from_parts) wires bit-identical
+    /// systems while [`plane`](ExtractedModel::plane) returns `None`.
+    pub fn to_parts(&self) -> ModelParts {
+        ModelParts {
+            equivalent: self.equivalent().clone(),
+            shard_report: self.shard_report().cloned(),
+            reduced: self.reduced_model().cloned(),
+            supply_location: self.supply_location,
+            chip_locations: self.chip_locations.clone(),
+            sites: self.sites.clone(),
+        }
+    }
+
+    /// Reassembles a model from [`ModelParts`] (the inverse of
+    /// [`to_parts`](ExtractedModel::to_parts) up to the documented loss of
+    /// the BEM reference system).
+    pub fn from_parts(parts: ModelParts) -> Self {
+        let base = match parts.shard_report {
+            Some(report) => PlaneModel::Sharded(Box::new(ShardedExtraction::from_parts(
+                parts.equivalent,
+                report,
+            ))),
+            None => PlaneModel::Restored(Box::new(parts.equivalent)),
+        };
+        let plane = match parts.reduced {
+            Some(rom) => PlaneModel::Reduced {
+                base: Box::new(base),
+                rom,
+            },
+            None => base,
+        };
+        ExtractedModel {
+            plane,
+            supply_location: parts.supply_location,
+            chip_locations: parts.chip_locations,
+            sites: parts.sites,
+        }
+    }
+}
+
+/// The serializable closure of an [`ExtractedModel`]: the exact set of
+/// fields [`BoardSpec::wire`] reads when stamping scenarios, pulled apart
+/// so `pdn-service` can persist and restore extractions bit-exactly
+/// without ever serializing mesh or kernel state.
+#[derive(Debug, Clone)]
+pub struct ModelParts {
+    /// The extracted R–L‖C port macromodel.
+    pub equivalent: pdn_extract::EquivalentCircuit,
+    /// Per-region statistics when the extraction was sharded (restoring
+    /// with `Some` keeps [`ExtractedModel::shard_report`] intact).
+    pub shard_report: Option<ShardReport>,
+    /// The fitted pole–residue reduction, when the board opted in.
+    pub reduced: Option<Arc<PoleResidueModel>>,
+    /// Supply (VRM) attachment point.
+    pub supply_location: Point,
+    /// Chip power-pin locations, in chip declaration order.
+    pub chip_locations: Vec<Point>,
+    /// Decap mounting sites, in site-index order.
+    pub sites: Vec<Point>,
 }
 
 /// Summary of the paper's Figure 3 partition, as realized in a built
@@ -918,6 +1087,11 @@ pub fn ssn_switching_sweep(
     t_stop: f64,
     dt: f64,
 ) -> Result<Vec<(usize, f64)>, Box<dyn Error>> {
+    if counts.is_empty() {
+        return Err(Box::new(BuildBoardError::InvalidInput(
+            "switching sweep needs at least one driver count; got an empty list".into(),
+        )));
+    }
     let batch = crate::scenario::ScenarioBatch::new(board, selection)?;
     let scenarios: Vec<crate::scenario::Scenario> = counts
         .iter()
@@ -946,6 +1120,108 @@ mod tests {
             Point::new(mm(30.0), mm(20.0)),
             4,
         ))
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_declaration_order() {
+        let plane = || {
+            PlaneSpec::rectangle(mm(40.0), mm(30.0), 0.5e-3, 4.5)
+                .unwrap()
+                .with_sheet_resistance(1e-3)
+                .with_cell_size(mm(5.0))
+        };
+        let sense_a = plane().with_port("sense_a", mm(10.0), mm(10.0)).with_port(
+            "sense_b",
+            mm(25.0),
+            mm(15.0),
+        );
+        let sense_b = plane().with_port("sense_b", mm(25.0), mm(15.0)).with_port(
+            "sense_a",
+            mm(10.0),
+            mm(10.0),
+        );
+        let u1 = || ChipSpec::cmos("U1", Point::new(mm(30.0), mm(20.0)), 4);
+        let u2 = || ChipSpec::cmos("U2", Point::new(mm(12.0), mm(8.0)), 2);
+        let s1 = Point::new(mm(20.0), mm(10.0));
+        let s2 = Point::new(mm(8.0), mm(22.0));
+        let a = BoardSpec::new(sense_a, 3.3, Point::new(mm(2.0), mm(2.0)))
+            .with_chip(u1())
+            .with_chip(u2())
+            .with_decap_site(s1)
+            .with_decap_site(s2);
+        let b = BoardSpec::new(sense_b, 3.3, Point::new(mm(2.0), mm(2.0)))
+            .with_chip(u2())
+            .with_chip(u1())
+            .with_decap_site(s2)
+            .with_decap_site(s1);
+        assert_ne!(a, b, "declaration order is visible to PartialEq");
+        assert_eq!(
+            a.canonical_bytes(),
+            b.canonical_bytes(),
+            "…but not to the canonical encoding"
+        );
+    }
+
+    #[test]
+    fn canonical_bytes_track_material_edits() {
+        let base = small_board().with_decap_site(Point::new(mm(20.0), mm(10.0)));
+        let bytes = base.canonical_bytes();
+        // Scenario-level fields are excluded…
+        let mut quiet = base.clone();
+        quiet.vcc = 5.0;
+        quiet.supply_r = 1.0;
+        assert_eq!(bytes, quiet.canonical_bytes());
+        // …while every extraction input is included.
+        let mut finer = base.clone();
+        finer.plane = finer.plane.with_cell_size(mm(2.5));
+        assert_ne!(bytes, finer.canonical_bytes());
+        let thicker = BoardSpec::new(
+            PlaneSpec::rectangle(mm(40.0), mm(30.0), 0.6e-3, 4.5)
+                .unwrap()
+                .with_sheet_resistance(1e-3)
+                .with_cell_size(mm(5.0)),
+            3.3,
+            Point::new(mm(2.0), mm(2.0)),
+        )
+        .with_chip(ChipSpec::cmos("U1", Point::new(mm(30.0), mm(20.0)), 4))
+        .with_decap_site(Point::new(mm(20.0), mm(10.0)));
+        assert_ne!(bytes, thicker.canonical_bytes());
+        let wider = BoardSpec::new(
+            PlaneSpec::rectangle(mm(41.0), mm(30.0), 0.5e-3, 4.5)
+                .unwrap()
+                .with_sheet_resistance(1e-3)
+                .with_cell_size(mm(5.0)),
+            3.3,
+            Point::new(mm(2.0), mm(2.0)),
+        )
+        .with_chip(ChipSpec::cmos("U1", Point::new(mm(30.0), mm(20.0)), 4))
+        .with_decap_site(Point::new(mm(20.0), mm(10.0)));
+        assert_ne!(bytes, wider.canonical_bytes());
+        let mut compressed = base.clone();
+        compressed.plane = compressed
+            .plane
+            .with_compression(pdn_bem::CompressionSpec::default());
+        assert_ne!(bytes, compressed.canonical_bytes());
+        let sharded = base
+            .clone()
+            .with_extraction_strategy(ExtractionStrategy::Sharded {
+                plan: pdn_shard::ShardPlan::grid(2, 1).unwrap(),
+            });
+        assert_ne!(bytes, sharded.canonical_bytes());
+        let reduced = base.clone().with_reduced_order(RomSpec::default());
+        assert_ne!(bytes, reduced.canonical_bytes());
+    }
+
+    #[test]
+    fn empty_sweep_rejected_before_extraction() {
+        // An invalid board (supply off the plane) would fail extraction;
+        // the empty-counts validation must fire first.
+        let mut bad = small_board();
+        bad.supply_location = Point::new(mm(-500.0), mm(-500.0));
+        let err =
+            ssn_switching_sweep(&bad, &NodeSelection::PortsOnly, &[], 1e-9, 0.05e-9).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("at least one driver count"), "got: {msg}");
     }
 
     #[test]

@@ -89,7 +89,7 @@ impl From<ShardExtractError> for ExtractPlaneError {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlaneSpec {
     shapes: Vec<Polygon>,
     pair: PlanePair,
@@ -228,6 +228,57 @@ impl PlaneSpec {
     /// The conductor shapes.
     pub fn shapes(&self) -> &[Polygon] {
         &self.shapes
+    }
+
+    /// The BEM assembly options.
+    pub fn options(&self) -> &BemOptions {
+        &self.options
+    }
+
+    /// Appends a canonical byte encoding of everything that determines
+    /// the extracted *numbers* — shapes, stackup, loss, mesh pitch,
+    /// assembly options, and the port set — to `w`, with `f64` values
+    /// encoded bit-exactly and ports **order-normalized** (sorted by
+    /// name, then location bits): declaring the same ports in a
+    /// different order encodes identically, any material edit does not.
+    /// Shape order is preserved — with split planes it fixes each
+    /// conductor's net index. See [`crate::BoardSpec::canonical_bytes`]
+    /// for the board-level rule this feeds.
+    pub fn write_canonical(&self, w: &mut pdn_num::ByteWriter) {
+        let put_point = |w: &mut pdn_num::ByteWriter, p: &Point| {
+            w.put_f64(p.x);
+            w.put_f64(p.y);
+        };
+        w.put_usize(self.shapes.len());
+        for shape in &self.shapes {
+            w.put_usize(shape.outer().len());
+            for p in shape.outer() {
+                put_point(w, p);
+            }
+            w.put_usize(shape.holes().len());
+            for hole in shape.holes() {
+                w.put_usize(hole.len());
+                for p in hole {
+                    put_point(w, p);
+                }
+            }
+        }
+        w.put_f64(self.pair.separation);
+        w.put_f64(self.pair.eps_r);
+        w.put_f64(self.pair.sheet_resistance);
+        w.put_f64(self.pair.loss_tangent);
+        w.put_f64(self.sheet_resistance);
+        w.put_f64(self.cell_size);
+        self.options.write_canonical(w);
+        let mut ports: Vec<&(String, Point)> = self.ports.iter().collect();
+        ports.sort_by(|a, b| {
+            (&a.0, a.1.x.to_bits(), a.1.y.to_bits()).cmp(&(&b.0, b.1.x.to_bits(), b.1.y.to_bits()))
+        });
+        w.put_usize(ports.len());
+        for (name, p) in ports {
+            w.put_str(name);
+            put_point(w, p);
+        }
     }
 
     /// The single conductor shape, for flows (like the FDTD reference)

@@ -49,10 +49,12 @@ pub mod verify;
 
 pub use cosim::{
     BoardSpec, BoardSystem, BuildBoardError, ChipSpec, DecapSpec, ExtractedModel,
-    ExtractionStrategy, SsnOutcome,
+    ExtractionStrategy, ModelParts, SsnOutcome,
 };
 pub use flow::{ExtractPlaneError, ExtractedPlane, PlaneSpec};
-pub use optimize::{optimize_decaps, DecapPlan, OptimizeSettings};
+pub use optimize::{
+    decap_search_board, optimize_decaps, optimize_decaps_with_batch, DecapPlan, OptimizeSettings,
+};
 pub use scenario::{DecapValue, Scenario, ScenarioBatch, ScenarioBatchError};
 
 /// Convenience re-exports for downstream users and examples.

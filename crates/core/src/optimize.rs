@@ -125,6 +125,29 @@ pub fn optimize_decaps(
     candidates: &[DecapSpec],
     settings: &OptimizeSettings,
 ) -> Result<DecapPlan, OptimizeDecapsError> {
+    let base = decap_search_board(board, candidates)?;
+    let batch = ScenarioBatch::new(&base, &settings.selection)?;
+    optimize_decaps_with_batch(&batch, candidates, settings)
+}
+
+/// The board the greedy search extracts: the input board with every
+/// candidate mounting site ported alongside its own site plan, so one
+/// extraction serves the whole search.
+///
+/// Split out from [`optimize_decaps`] so a caller that owns the
+/// extraction (the `pdn-service` cache keys on this board's
+/// [`canonical bytes`](BoardSpec::canonical_bytes)) can build the
+/// [`ScenarioBatch`] itself and hand it to
+/// [`optimize_decaps_with_batch`].
+///
+/// # Errors
+///
+/// Returns [`OptimizeDecapsError::InvalidInput`] when the candidate list
+/// is empty or contains duplicate mounting sites.
+pub fn decap_search_board(
+    board: &BoardSpec,
+    candidates: &[DecapSpec],
+) -> Result<BoardSpec, OptimizeDecapsError> {
     if candidates.is_empty() {
         return Err(OptimizeDecapsError::InvalidInput(
             "no candidate decap sites provided".into(),
@@ -141,22 +164,55 @@ pub fn optimize_decaps(
             )));
         }
     }
-
-    // Port every candidate site alongside the board's own site plan, so
-    // one extraction serves the whole search.
     let mut base = board.clone();
     base.decap_sites = board.site_plan();
-    let offset = base.decap_sites.len();
     for c in candidates {
         base.decap_sites.push(c.location);
     }
+    Ok(base)
+}
+
+/// The greedy loop of [`optimize_decaps`], running against a caller-owned
+/// batch whose board must come from [`decap_search_board`] with the same
+/// `candidates` (the last `candidates.len()` sites are the trial ports).
+///
+/// # Errors
+///
+/// Returns [`OptimizeDecapsError::InvalidInput`] when the batch's site
+/// plan does not end with the candidate sites (the batch was built for a
+/// different search), or when a pre-placed board decap sits on no
+/// declared site; [`OptimizeDecapsError::Simulation`] when a trial run
+/// fails.
+pub fn optimize_decaps_with_batch(
+    batch: &ScenarioBatch,
+    candidates: &[DecapSpec],
+    settings: &OptimizeSettings,
+) -> Result<DecapPlan, OptimizeDecapsError> {
+    let board = batch.board();
+    let sites = &board.decap_sites;
+    let offset = sites
+        .len()
+        .checked_sub(candidates.len())
+        .filter(|&off| {
+            candidates
+                .iter()
+                .zip(&sites[off..])
+                .all(|(c, &s)| c.location == s)
+        })
+        .ok_or_else(|| {
+            OptimizeDecapsError::InvalidInput(
+                "batch board's site plan does not end with the candidate sites; \
+                 build it with decap_search_board"
+                    .into(),
+            )
+        })?;
     // The board's pre-placed decaps, re-expressed as (site, value) pairs
     // every trial scenario starts from.
     let base_pairs: Vec<(usize, DecapValue)> = board
         .decaps
         .iter()
         .map(|d| {
-            let site = base.decap_sites[..offset]
+            let site = sites[..offset]
                 .iter()
                 .position(|&s| s == d.location)
                 .ok_or_else(|| {
@@ -169,7 +225,6 @@ pub fn optimize_decaps(
         })
         .collect::<Result<_, OptimizeDecapsError>>()?;
 
-    let batch = ScenarioBatch::new(&base, &settings.selection)?;
     let scenario_for = |chosen: &[usize]| -> Scenario {
         let mut pairs = base_pairs.clone();
         for &k in chosen {

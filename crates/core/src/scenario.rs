@@ -219,6 +219,9 @@ impl Scenario {
 /// independent of worker scheduling.
 #[derive(Debug)]
 pub enum ScenarioBatchError {
+    /// The request was malformed before any extraction or scenario work
+    /// started (empty scenario list, model/board layout mismatch).
+    InvalidInput(String),
     /// The one-time plane extraction failed (no scenario involved).
     Extraction(BuildBoardError),
     /// Applying or wiring scenario `index` failed.
@@ -240,6 +243,7 @@ pub enum ScenarioBatchError {
 impl fmt::Display for ScenarioBatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ScenarioBatchError::InvalidInput(msg) => write!(f, "invalid batch request: {msg}"),
             ScenarioBatchError::Extraction(e) => write!(f, "shared extraction: {e}"),
             ScenarioBatchError::Build { index, source } => {
                 write!(f, "scenario {index}: {source}")
@@ -254,6 +258,7 @@ impl fmt::Display for ScenarioBatchError {
 impl Error for ScenarioBatchError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            ScenarioBatchError::InvalidInput(_) => None,
             ScenarioBatchError::Extraction(e) => Some(e),
             ScenarioBatchError::Build { source, .. } => Some(source),
             ScenarioBatchError::Simulation { source, .. } => Some(source),
@@ -292,6 +297,43 @@ impl ScenarioBatch {
         Ok(ScenarioBatch { board, model })
     }
 
+    /// Builds a batch around an already-extracted model — the cache-hit
+    /// path of `pdn-service`: a model restored from disk (or shared by
+    /// another batch) skips the mesh → BEM → reduction flow entirely.
+    ///
+    /// The board's [site plan](BoardSpec::site_plan) is pinned exactly as
+    /// [`new`](ScenarioBatch::new) would, then the model's port layout is
+    /// checked against it so a stale or mismatched model fails here, not
+    /// as a silent mis-stamp deep inside wiring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioBatchError::InvalidInput`] when the model's
+    /// supply point, chip locations, or sites differ from the board's.
+    pub fn with_model(
+        board: &BoardSpec,
+        model: ExtractedModel,
+    ) -> Result<Self, ScenarioBatchError> {
+        let mut board = board.clone();
+        board.decap_sites = board.site_plan();
+        let mismatch = |what: &str| {
+            ScenarioBatchError::InvalidInput(format!(
+                "extracted model does not match the board: {what} differ"
+            ))
+        };
+        if model.supply_location() != board.supply_location {
+            return Err(mismatch("supply locations"));
+        }
+        let chip_locations: Vec<_> = board.chips.iter().map(|c| c.location).collect();
+        if model.chip_locations() != chip_locations.as_slice() {
+            return Err(mismatch("chip locations"));
+        }
+        if model.sites() != board.decap_sites.as_slice() {
+            return Err(mismatch("decap site plans"));
+        }
+        Ok(ScenarioBatch { board, model })
+    }
+
     /// The shared extracted macromodel.
     pub fn model(&self) -> &ExtractedModel {
         &self.model
@@ -325,14 +367,22 @@ impl ScenarioBatch {
     ///
     /// # Errors
     ///
-    /// Returns the error of the lowest-index failing scenario, with that
-    /// index attached.
+    /// Returns [`ScenarioBatchError::InvalidInput`] for an empty scenario
+    /// list (an easy symptom of a caller-side filtering bug — loudly
+    /// rejected rather than silently returning zero outcomes), otherwise
+    /// the error of the lowest-index failing scenario, with that index
+    /// attached.
     pub fn run(
         &self,
         scenarios: &[Scenario],
         t_stop: f64,
         dt: f64,
     ) -> Result<Vec<SsnOutcome>, ScenarioBatchError> {
+        if scenarios.is_empty() {
+            return Err(ScenarioBatchError::InvalidInput(
+                "scenario list is empty; a batch needs at least one scenario to run".into(),
+            ));
+        }
         // 1. Wire every scenario (parallel; cheap relative to the runs).
         let systems: Vec<BoardSystem> = pdn_num::parallel::try_par_map(scenarios, |s| self.wire(s))
             .map_err(|e| self.attach_build_index(scenarios, e))?;
@@ -415,6 +465,50 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<ScenarioBatchError>();
         assert_send::<BuildBoardError>();
+    }
+
+    #[test]
+    fn empty_scenario_list_rejected() {
+        let batch = ScenarioBatch::new(&base_board(), &sel()).unwrap();
+        let err = batch.run(&[], 5e-9, 0.1e-9).unwrap_err();
+        match err {
+            ScenarioBatchError::InvalidInput(msg) => {
+                assert!(msg.contains("empty"), "got: {msg}");
+            }
+            other => panic!("expected InvalidInput, got {other}"),
+        }
+    }
+
+    #[test]
+    fn with_model_reuses_extraction_and_rejects_mismatch() {
+        let board = base_board();
+        let fresh = ScenarioBatch::new(&board, &sel()).unwrap();
+        let adopted = ScenarioBatch::with_model(&board, fresh.model().clone()).unwrap();
+        let scenarios = [Scenario::switching(2)];
+        assert_eq!(
+            fresh.run(&scenarios, 5e-9, 0.1e-9).unwrap(),
+            adopted.run(&scenarios, 5e-9, 0.1e-9).unwrap(),
+            "adopted model wires bit-identical systems"
+        );
+        let mut moved = board.clone();
+        moved.supply_location = Point::new(mm(3.0), mm(3.0));
+        match ScenarioBatch::with_model(&moved, fresh.model().clone()).unwrap_err() {
+            ScenarioBatchError::InvalidInput(msg) => {
+                assert!(msg.contains("supply locations"), "got: {msg}");
+            }
+            other => panic!("expected InvalidInput, got {other}"),
+        }
+        let trimmed = {
+            let mut b = board.clone();
+            b.decap_sites.pop();
+            b
+        };
+        match ScenarioBatch::with_model(&trimmed, fresh.model().clone()).unwrap_err() {
+            ScenarioBatchError::InvalidInput(msg) => {
+                assert!(msg.contains("site plans"), "got: {msg}");
+            }
+            other => panic!("expected InvalidInput, got {other}"),
+        }
     }
 
     #[test]

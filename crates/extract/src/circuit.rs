@@ -933,6 +933,40 @@ impl EquivalentCircuit {
         })
     }
 
+    /// Serializes the macromodel into `w`, bit-exactly: the decoded
+    /// circuit stamps and sweeps bit-identically to this one. Consumed by
+    /// the `pdn-service` extraction cache.
+    pub fn write_to(&self, w: &mut pdn_num::ByteWriter) {
+        w.put_usize(self.names.len());
+        for name in &self.names {
+            w.put_str(name);
+        }
+        w.put_usize_slice(&self.ports);
+        w.put_matrix_f64(&self.b);
+        w.put_matrix_f64(&self.g);
+        w.put_matrix_f64(&self.c);
+        w.put_f64(self.tan_d);
+    }
+
+    /// Deserializes a macromodel written by [`write_to`](Self::write_to),
+    /// re-validated through [`from_parts`](Self::from_parts).
+    ///
+    /// # Errors
+    ///
+    /// [`pdn_num::CodecError`] on truncation or when the decoded parts
+    /// fail `from_parts` validation (dimension mismatch, bad port index).
+    pub fn read_from(r: &mut pdn_num::ByteReader<'_>) -> Result<Self, pdn_num::CodecError> {
+        let n = r.get_usize()?;
+        let names: Vec<String> = (0..n).map(|_| r.get_str()).collect::<Result<_, _>>()?;
+        let ports = r.get_usize_vec()?;
+        let b = r.get_matrix_f64()?;
+        let g = r.get_matrix_f64()?;
+        let c = r.get_matrix_f64()?;
+        let tan_d = r.get_f64()?;
+        EquivalentCircuit::from_parts(names, ports, b, g, c, tan_d)
+            .map_err(|e| pdn_num::CodecError::Invalid(format!("equivalent circuit: {e}")))
+    }
+
     /// Number of retained circuit nodes.
     pub fn node_count(&self) -> usize {
         self.names.len()
@@ -1986,6 +2020,32 @@ mod tests {
                 .unwrap_err(),
             ExtractCircuitError::InvalidInput(_)
         ));
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_exact() {
+        let sys = bem(true, &[(mm(2.0), mm(2.0)), (mm(17.0), mm(17.0))]);
+        let eq =
+            EquivalentCircuit::from_bem(&sys, &NodeSelection::PortsAndGrid { stride: 2 }).unwrap();
+        let mut w = pdn_num::ByteWriter::new();
+        eq.write_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = pdn_num::ByteReader::new(&bytes);
+        let back = EquivalentCircuit::read_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.names, eq.names);
+        assert_eq!(back.ports, eq.ports);
+        assert_eq!(back.b, eq.b);
+        assert_eq!(back.g, eq.g);
+        assert_eq!(back.c, eq.c);
+        assert_eq!(back.tan_d.to_bits(), eq.tan_d.to_bits());
+        // Re-encoding reproduces the exact byte stream; corruption that
+        // breaks `from_parts` invariants fails loudly.
+        let mut w2 = pdn_num::ByteWriter::new();
+        back.write_to(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        let mut r = pdn_num::ByteReader::new(&bytes[..bytes.len() / 2]);
+        assert!(EquivalentCircuit::read_from(&mut r).is_err());
     }
 
     #[test]

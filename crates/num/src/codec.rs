@@ -1,0 +1,443 @@
+//! Bit-exact, std-only binary encoding primitives.
+//!
+//! The extraction cache (`pdn-service`) persists extracted macromodels
+//! and hashes canonicalized board descriptions. Both jobs need the same
+//! two properties from their byte encoding:
+//!
+//! * **Bit-exactness** — `f64` values round-trip through
+//!   [`f64::to_bits`]/[`f64::from_bits`], so a decoded model is
+//!   *bit-identical* to the encoded one (the cache's warm-vs-cold
+//!   equivalence contract), and canonical hashes are stable across
+//!   platforms with IEEE-754 doubles.
+//! * **No dependencies** — the build environment is offline (see the
+//!   in-tree `proptest`/`criterion` shims), so this is a hand-rolled
+//!   little-endian length-prefixed format, not serde.
+//!
+//! [`ByteWriter`] appends primitives to a growable buffer;
+//! [`ByteReader`] consumes them back, failing with a descriptive
+//! [`CodecError`] on truncation, oversized length prefixes (a corrupted
+//! length byte must not trigger a huge allocation), or trailing bytes.
+//! Every `get_*` mirrors a `put_*` one-to-one; composite types
+//! (matrices, string/f64 vectors) are length-prefixed with `u64` counts.
+
+use crate::complex::c64;
+use crate::matrix::Matrix;
+use std::error::Error;
+use std::fmt;
+
+/// Error from decoding a byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before a value could be read.
+    UnexpectedEof {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes left in the stream.
+        remaining: usize,
+    },
+    /// A decoded value is structurally impossible (a length prefix
+    /// exceeding the remaining bytes, a non-UTF-8 string…).
+    Invalid(String),
+    /// Decoding finished with unread bytes left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of stream: needed {needed} bytes, {remaining} remaining"
+            ),
+            CodecError::Invalid(msg) => write!(f, "invalid encoding: {msg}"),
+            CodecError::TrailingBytes(n) => {
+                write!(f, "decoding finished with {n} trailing bytes")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// An empty writer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes verbatim (no length prefix).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a little-endian `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` bit-exactly (IEEE-754 bits, little-endian).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a complex value as its `(re, im)` bit patterns.
+    pub fn put_c64(&mut self, v: c64) {
+        self.put_f64(v.re);
+        self.put_f64(v.im);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f64` slice, bit-exactly.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Appends a length-prefixed `usize` slice.
+    pub fn put_usize_slice(&mut self, vs: &[usize]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_usize(v);
+        }
+    }
+
+    /// Appends a real matrix: dimensions, then the row-major data
+    /// bit-exactly.
+    pub fn put_matrix_f64(&mut self, m: &Matrix<f64>) {
+        self.put_usize(m.nrows());
+        self.put_usize(m.ncols());
+        for &v in m.as_slice() {
+            self.put_f64(v);
+        }
+    }
+
+    /// Appends a complex matrix: dimensions, then the row-major data
+    /// bit-exactly.
+    pub fn put_matrix_c64(&mut self, m: &Matrix<c64>) {
+        self.put_usize(m.nrows());
+        self.put_usize(m.ncols());
+        for &v in m.as_slice() {
+            self.put_c64(v);
+        }
+    }
+}
+
+/// Consuming little-endian decoder over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Succeeds only when every byte has been consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TrailingBytes`] when unread bytes remain.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(CodecError::TrailingBytes(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] on truncation (likewise below).
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` encoded as a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a value exceeding `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v)
+            .map_err(|_| CodecError::Invalid(format!("value {v} does not fit in usize")))
+    }
+
+    /// Reads a length prefix for elements of at least `elem_size` bytes,
+    /// rejecting counts the remaining stream cannot possibly hold — a
+    /// corrupted length byte must fail cleanly, not attempt a giant
+    /// allocation.
+    fn get_len(&mut self, elem_size: usize) -> Result<usize, CodecError> {
+        let n = self.get_usize()?;
+        let cap = self.remaining() / elem_size.max(1);
+        if n > cap {
+            return Err(CodecError::Invalid(format!(
+                "length prefix {n} exceeds the {cap} elements the remaining stream can hold"
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads an `f64` bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a complex value from its `(re, im)` bit patterns.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation.
+    pub fn get_c64(&mut self) -> Result<c64, CodecError> {
+        Ok(c64::new(self.get_f64()?, self.get_f64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation, an impossible length, or invalid
+    /// UTF-8.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let n = self.get_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CodecError::Invalid(format!("non-UTF-8 string: {e}")))
+    }
+
+    /// Reads a length-prefixed `f64` vector, bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or an impossible length.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.get_len(8)?;
+        (0..n).map(|_| self.get_f64()).collect()
+    }
+
+    /// Reads a length-prefixed `usize` vector.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or an impossible length.
+    pub fn get_usize_vec(&mut self) -> Result<Vec<usize>, CodecError> {
+        let n = self.get_len(8)?;
+        (0..n).map(|_| self.get_usize()).collect()
+    }
+
+    fn get_dims(&mut self, elem_size: usize) -> Result<(usize, usize), CodecError> {
+        let rows = self.get_usize()?;
+        let cols = self.get_usize()?;
+        let total = rows
+            .checked_mul(cols)
+            .ok_or_else(|| CodecError::Invalid(format!("matrix {rows}x{cols} overflows")))?;
+        if total > self.remaining() / elem_size {
+            return Err(CodecError::Invalid(format!(
+                "matrix {rows}x{cols} exceeds the remaining stream"
+            )));
+        }
+        Ok((rows, cols))
+    }
+
+    /// Reads a real matrix written by [`ByteWriter::put_matrix_f64`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or impossible dimensions.
+    pub fn get_matrix_f64(&mut self) -> Result<Matrix<f64>, CodecError> {
+        let (rows, cols) = self.get_dims(8)?;
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = self.get_f64()?;
+        }
+        Ok(m)
+    }
+
+    /// Reads a complex matrix written by [`ByteWriter::put_matrix_c64`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or impossible dimensions.
+    pub fn get_matrix_c64(&mut self) -> Result<Matrix<c64>, CodecError> {
+        let (rows, cols) = self.get_dims(16)?;
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = self.get_c64()?;
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_bit_exactly() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(42);
+        // Values that separate bit-exact from approximate codecs.
+        let specials = [0.0, -0.0, f64::MIN_POSITIVE / 2.0, 1.0 + f64::EPSILON];
+        for &v in &specials {
+            w.put_f64(v);
+        }
+        w.put_c64(c64::new(-3.25, 1e-300));
+        w.put_str("decap0 µ");
+        w.put_f64_slice(&[1.5, -2.5]);
+        w.put_usize_slice(&[7, 0, 3]);
+
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        for &v in &specials {
+            assert_eq!(r.get_f64().unwrap().to_bits(), v.to_bits());
+        }
+        let z = r.get_c64().unwrap();
+        assert_eq!((z.re, z.im), (-3.25, 1e-300));
+        assert_eq!(r.get_str().unwrap(), "decap0 µ");
+        assert_eq!(r.get_f64_vec().unwrap(), vec![1.5, -2.5]);
+        assert_eq!(r.get_usize_vec().unwrap(), vec![7, 0, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn matrices_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0, -2.0, 3.5], &[0.0, 5.25, -6.125]]);
+        let mut w = ByteWriter::new();
+        w.put_matrix_f64(&m);
+        let zc = Matrix::from_fn(2, 2, |i, j| c64::new(i as f64, -(j as f64) - 0.5));
+        w.put_matrix_c64(&zc);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_matrix_f64().unwrap(), m);
+        assert_eq!(r.get_matrix_c64().unwrap(), zc);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_fail_loudly() {
+        let mut w = ByteWriter::new();
+        w.put_f64(1.0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert!(matches!(r.get_f64(), Err(CodecError::UnexpectedEof { .. })));
+        let mut r = ByteReader::new(&bytes);
+        r.get_u32().unwrap();
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes(4)));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_rejected_without_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_usize(usize::MAX / 2); // absurd element count
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_f64_vec(), Err(CodecError::Invalid(_))));
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_str(), Err(CodecError::Invalid(_))));
+    }
+}

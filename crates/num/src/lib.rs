@@ -29,6 +29,7 @@
 pub mod aca;
 pub mod cg;
 pub mod cholesky;
+pub mod codec;
 pub mod complex;
 pub mod eigen;
 pub mod fft;
@@ -45,6 +46,7 @@ pub mod scalar;
 
 pub use aca::LowRank;
 pub use cholesky::CholeskyDecomposition;
+pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use complex::c64;
 pub use eigen::{
     generalized_symmetric_eigen, hermitian_smallest_eigenvector, smallest_singular_vector,

@@ -356,6 +356,101 @@ impl PoleResidueModel {
         (self.real_poles.len() + 2 * self.pair_poles.len() + 2) * self.ports * self.ports
     }
 
+    /// Serializes the model into `w`, bit-exactly: a decoded model is
+    /// `==` (and its transient recursions bit-identical) to this one.
+    /// Consumed by the `pdn-service` extraction cache.
+    pub fn write_to(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_usize(self.ports);
+        w.put_matrix_f64(&self.d);
+        w.put_matrix_f64(&self.e);
+        w.put_f64_slice(&self.real_poles);
+        w.put_usize(self.real_residues.len());
+        for m in &self.real_residues {
+            w.put_matrix_f64(m);
+        }
+        w.put_usize(self.pair_poles.len());
+        for &p in &self.pair_poles {
+            w.put_c64(p);
+        }
+        w.put_usize(self.pair_residues.len());
+        for m in &self.pair_residues {
+            w.put_matrix_c64(m);
+        }
+        w.put_f64(self.passivity_shift);
+        w.put_f64(self.fit_residual);
+        w.put_f64(self.holdout_residual);
+    }
+
+    /// Deserializes a model written by [`write_to`](Self::write_to).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::codec::CodecError`] on truncation, or when the decoded
+    /// dimensions are inconsistent (every matrix must be
+    /// `ports × ports`, residue counts must match their pole lists).
+    pub fn read_from(
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        let ports = r.get_usize()?;
+        let d = r.get_matrix_f64()?;
+        let e = r.get_matrix_f64()?;
+        let real_poles = r.get_f64_vec()?;
+        let n_real = r.get_usize()?;
+        let real_residues: Vec<Matrix<f64>> = (0..n_real)
+            .map(|_| r.get_matrix_f64())
+            .collect::<Result<_, _>>()?;
+        let n_pair_poles = r.get_usize()?;
+        let pair_poles: Vec<c64> = (0..n_pair_poles)
+            .map(|_| r.get_c64())
+            .collect::<Result<_, _>>()?;
+        let n_pair = r.get_usize()?;
+        let pair_residues: Vec<Matrix<c64>> = (0..n_pair)
+            .map(|_| r.get_matrix_c64())
+            .collect::<Result<_, _>>()?;
+        let passivity_shift = r.get_f64()?;
+        let fit_residual = r.get_f64()?;
+        let holdout_residual = r.get_f64()?;
+        let square = |name: &str, rows: usize, cols: usize| {
+            if (rows, cols) == (ports, ports) {
+                Ok(())
+            } else {
+                Err(CodecError::Invalid(format!(
+                    "PROM {name} is {rows}x{cols}, expected {ports}x{ports}"
+                )))
+            }
+        };
+        square("D", d.nrows(), d.ncols())?;
+        square("E", e.nrows(), e.ncols())?;
+        for m in &real_residues {
+            square("real residue", m.nrows(), m.ncols())?;
+        }
+        for m in &pair_residues {
+            square("pair residue", m.nrows(), m.ncols())?;
+        }
+        if real_residues.len() != real_poles.len() || pair_residues.len() != pair_poles.len() {
+            return Err(CodecError::Invalid(format!(
+                "PROM residue counts ({}, {}) do not match pole counts ({}, {})",
+                real_residues.len(),
+                pair_residues.len(),
+                real_poles.len(),
+                pair_poles.len()
+            )));
+        }
+        Ok(PoleResidueModel {
+            ports,
+            d,
+            e,
+            real_poles,
+            real_residues,
+            pair_poles,
+            pair_residues,
+            passivity_shift,
+            fit_residual,
+            holdout_residual,
+        })
+    }
+
     /// Evaluates the model admittance at a real frequency `f` (Hz).
     pub fn evaluate(&self, f: f64) -> Matrix<c64> {
         let s = c64::from_im(2.0 * PI * f);
@@ -1133,6 +1228,25 @@ mod tests {
             &holdout_values,
             &PromOptions { cert_tol },
         )
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_exact() {
+        let rom = build_test_model(1e-3).unwrap();
+        let mut w = crate::codec::ByteWriter::new();
+        rom.write_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::codec::ByteReader::new(&bytes);
+        let back = PoleResidueModel::read_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, rom, "decoded model bit-identical");
+        // Re-encoding reproduces the exact byte stream.
+        let mut w2 = crate::codec::ByteWriter::new();
+        back.write_to(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        // Truncation fails loudly instead of yielding a partial model.
+        let mut r = crate::codec::ByteReader::new(&bytes[..bytes.len() - 3]);
+        assert!(PoleResidueModel::read_from(&mut r).is_err());
     }
 
     #[test]

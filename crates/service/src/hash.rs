@@ -1,0 +1,141 @@
+//! Content addressing of extractions.
+//!
+//! An extraction is determined by the board's scenario-invariant inputs
+//! plus the retained-node policy; [`BoardKey`] hashes both. Two hashes
+//! make up the key:
+//!
+//! * **content** — SHA-256 of [`BoardSpec::canonical_bytes`] followed by
+//!   a canonical encoding of the [`NodeSelection`]. Order-normalized:
+//!   permuting port/chip/site declarations does not change it.
+//! * **layout** — SHA-256 of the *declaration-order* port layout (plane
+//!   ports, chips, decap sites, each with names where they have them).
+//!   The extracted matrices are invariant under declaration order, but
+//!   the port *table* (names, positions in the node list) is not; two
+//!   permuted boards therefore share all the physics yet need distinct
+//!   cached models. Keying on (content, layout) keeps every cached model
+//!   bit-exact for its board with no permutation-on-load logic.
+//!
+//! The disk store maps a key to `<root>/<content-hex>/<layout-hex>.model`
+//! so permuted variants of one board cluster in a directory.
+
+use crate::sha256::{hex, Sha256};
+use pdn_core::BoardSpec;
+use pdn_extract::NodeSelection;
+use pdn_num::ByteWriter;
+
+/// The two-level content address of an extraction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BoardKey {
+    /// Order-normalized content hash (physics + retained-node policy).
+    pub content: [u8; 32],
+    /// Declaration-order layout signature (port-table labeling).
+    pub layout: [u8; 32],
+}
+
+impl BoardKey {
+    /// Computes the key for extracting `board` with `selection`.
+    pub fn of(board: &BoardSpec, selection: &NodeSelection) -> Self {
+        let mut content = Sha256::new();
+        content.update(&board.canonical_bytes());
+        let mut sel = ByteWriter::new();
+        write_selection(&mut sel, selection);
+        content.update(sel.as_bytes());
+
+        let mut w = ByteWriter::new();
+        for (name, p) in board.plane.ports() {
+            w.put_str(name);
+            w.put_f64(p.x);
+            w.put_f64(p.y);
+        }
+        w.put_u8(0xfe); // section separator
+        for chip in &board.chips {
+            w.put_str(&chip.name);
+            w.put_f64(chip.location.x);
+            w.put_f64(chip.location.y);
+        }
+        w.put_u8(0xfe);
+        for p in board.site_plan() {
+            w.put_f64(p.x);
+            w.put_f64(p.y);
+        }
+        let mut layout = Sha256::new();
+        layout.update(w.as_bytes());
+
+        BoardKey {
+            content: content.finalize(),
+            layout: layout.finalize(),
+        }
+    }
+
+    /// Lowercase-hex content hash (the cache directory name).
+    pub fn content_hex(&self) -> String {
+        hex(&self.content)
+    }
+
+    /// Lowercase-hex layout signature (the model file stem).
+    pub fn layout_hex(&self) -> String {
+        hex(&self.layout)
+    }
+}
+
+/// Canonical encoding of the retained-node policy.
+fn write_selection(w: &mut ByteWriter, selection: &NodeSelection) {
+    match selection {
+        NodeSelection::All => w.put_u8(0),
+        NodeSelection::PortsOnly => w.put_u8(1),
+        NodeSelection::PortsAndGrid { stride } => {
+            w.put_u8(2);
+            w.put_usize(*stride);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_core::{ChipSpec, PlaneSpec};
+    use pdn_geom::units::mm;
+    use pdn_geom::Point;
+
+    fn board(chips_swapped: bool) -> BoardSpec {
+        let plane = PlaneSpec::rectangle(mm(40.0), mm(30.0), 0.5e-3, 4.5)
+            .unwrap()
+            .with_sheet_resistance(1e-3)
+            .with_cell_size(mm(5.0));
+        let u1 = ChipSpec::cmos("U1", Point::new(mm(30.0), mm(20.0)), 4);
+        let u2 = ChipSpec::cmos("U2", Point::new(mm(12.0), mm(8.0)), 2);
+        let b = BoardSpec::new(plane, 3.3, Point::new(mm(2.0), mm(2.0)));
+        if chips_swapped {
+            b.with_chip(u2).with_chip(u1)
+        } else {
+            b.with_chip(u1).with_chip(u2)
+        }
+    }
+
+    #[test]
+    fn permuted_declarations_share_content_but_not_layout() {
+        let sel = NodeSelection::PortsOnly;
+        let a = BoardKey::of(&board(false), &sel);
+        let b = BoardKey::of(&board(true), &sel);
+        assert_eq!(a.content, b.content);
+        assert_ne!(a.layout, b.layout);
+    }
+
+    #[test]
+    fn selection_changes_content() {
+        let a = BoardKey::of(&board(false), &NodeSelection::PortsOnly);
+        let b = BoardKey::of(&board(false), &NodeSelection::PortsAndGrid { stride: 2 });
+        let c = BoardKey::of(&board(false), &NodeSelection::PortsAndGrid { stride: 3 });
+        assert_ne!(a.content, b.content);
+        assert_ne!(b.content, c.content);
+        assert_eq!(a.layout, b.layout, "selection is not part of the layout");
+    }
+
+    #[test]
+    fn hex_is_stable_and_64_chars() {
+        let k = BoardKey::of(&board(false), &NodeSelection::PortsOnly);
+        assert_eq!(k.content_hex().len(), 64);
+        assert_eq!(k.layout_hex().len(), 64);
+        assert_eq!(k, BoardKey::of(&board(false), &NodeSelection::PortsOnly));
+    }
+}

@@ -98,6 +98,98 @@ impl ShardedExtraction {
     pub fn report(&self) -> &ShardReport {
         &self.report
     }
+
+    /// Reassembles a sharded extraction from a composed equivalent
+    /// circuit and its report — the restore hook the `pdn-service`
+    /// extraction cache uses after deserializing both halves.
+    pub fn from_parts(equivalent: EquivalentCircuit, report: ShardReport) -> Self {
+        ShardedExtraction { equivalent, report }
+    }
+
+    /// Serializes the extraction (equivalent circuit + report) into `w`,
+    /// bit-exactly.
+    pub fn write_to(&self, w: &mut pdn_num::ByteWriter) {
+        self.equivalent.write_to(w);
+        self.report.write_to(w);
+    }
+
+    /// Deserializes an extraction written by [`write_to`](Self::write_to).
+    ///
+    /// # Errors
+    ///
+    /// [`pdn_num::CodecError`] on truncation or invalid component
+    /// encodings.
+    pub fn read_from(r: &mut pdn_num::ByteReader<'_>) -> Result<Self, pdn_num::CodecError> {
+        let equivalent = EquivalentCircuit::read_from(r)?;
+        let report = ShardReport::read_from(r)?;
+        Ok(ShardedExtraction { equivalent, report })
+    }
+}
+
+impl RegionStats {
+    /// Serializes the statistics into `w`.
+    pub fn write_to(&self, w: &mut pdn_num::ByteWriter) {
+        w.put_usize(self.index);
+        w.put_usize(self.cells);
+        w.put_usize(self.links);
+        w.put_usize(self.external_ports);
+        w.put_usize(self.interface_ports);
+        w.put_usize(self.retained_nodes);
+        w.put_usize(self.dense_bytes);
+        w.put_f64(self.millis);
+    }
+
+    /// Deserializes statistics written by [`write_to`](Self::write_to).
+    ///
+    /// # Errors
+    ///
+    /// [`pdn_num::CodecError`] on truncation.
+    pub fn read_from(r: &mut pdn_num::ByteReader<'_>) -> Result<Self, pdn_num::CodecError> {
+        Ok(RegionStats {
+            index: r.get_usize()?,
+            cells: r.get_usize()?,
+            links: r.get_usize()?,
+            external_ports: r.get_usize()?,
+            interface_ports: r.get_usize()?,
+            retained_nodes: r.get_usize()?,
+            dense_bytes: r.get_usize()?,
+            millis: r.get_f64()?,
+        })
+    }
+}
+
+impl ShardReport {
+    /// Serializes the report into `w`.
+    pub fn write_to(&self, w: &mut pdn_num::ByteWriter) {
+        w.put_usize(self.regions.len());
+        for region in &self.regions {
+            region.write_to(w);
+        }
+        w.put_usize(self.cut_links);
+        w.put_usize(self.eliminated_nodes);
+        w.put_usize(self.node_count);
+        w.put_f64(self.millis);
+    }
+
+    /// Deserializes a report written by [`write_to`](Self::write_to).
+    ///
+    /// # Errors
+    ///
+    /// [`pdn_num::CodecError`] on truncation or an impossible region
+    /// count.
+    pub fn read_from(r: &mut pdn_num::ByteReader<'_>) -> Result<Self, pdn_num::CodecError> {
+        let n = r.get_usize()?;
+        let regions: Vec<RegionStats> = (0..n)
+            .map(|_| RegionStats::read_from(r))
+            .collect::<Result<_, _>>()?;
+        Ok(ShardReport {
+            regions,
+            cut_links: r.get_usize()?,
+            eliminated_nodes: r.get_usize()?,
+            node_count: r.get_usize()?,
+            millis: r.get_f64()?,
+        })
+    }
 }
 
 fn region_err(index: usize, e: &dyn std::fmt::Display) -> ShardExtractError {

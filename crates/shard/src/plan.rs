@@ -78,6 +78,26 @@ impl ShardPlan {
         }
     }
 
+    /// Explicit x cut positions (meters; empty for grid plans). With
+    /// [`y_cuts`](Self::y_cuts) and [`grid_dims`](Self::grid_dims) this
+    /// exposes everything a canonical encoding of the plan needs — the
+    /// `pdn-service` board hash includes it, since the cut layout changes
+    /// the composed macromodel.
+    pub fn x_cuts(&self) -> &[f64] {
+        &self.x_cuts
+    }
+
+    /// Explicit y cut positions (meters; empty for grid plans).
+    pub fn y_cuts(&self) -> &[f64] {
+        &self.y_cuts
+    }
+
+    /// The `(nx, ny)` tiling for plans built with [`grid`](Self::grid),
+    /// `None` for explicit-cut plans.
+    pub fn grid_dims(&self) -> Option<(usize, usize)> {
+        self.grid
+    }
+
     /// Resolves the plan against the board bounding box, returning the
     /// concrete `(x_cuts, y_cuts)`.
     ///

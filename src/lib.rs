@@ -39,6 +39,7 @@
 //! | [`tline`] | 2-D MoM line extraction, modal analysis, crosstalk |
 //! | [`fdtd`] | independent 2-D plane FDTD reference |
 //! | [`core`] | end-to-end flows, boards, co-simulation, verification |
+//! | [`service`] | content-addressable extraction cache, async analysis job server |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
@@ -51,6 +52,7 @@ pub use pdn_fdtd as fdtd;
 pub use pdn_geom as geom;
 pub use pdn_greens as greens;
 pub use pdn_num as num;
+pub use pdn_service as service;
 pub use pdn_shard as shard;
 pub use pdn_tline as tline;
 
